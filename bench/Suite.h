@@ -1,0 +1,68 @@
+//===- Suite.h - The paper's benchmark suite --------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 14 programs of the paper's Table 3 (MiniC transcriptions embedded
+/// at build time from bench/programs/*.mc), their workloads, and the
+/// measurement helper every table/figure harness uses: compile at a given
+/// level for a given target, execute under the EASE-style interpreter,
+/// optionally through a bank of simulated instruction caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_BENCH_SUITE_H
+#define CODEREP_BENCH_SUITE_H
+
+#include "cache/ICache.h"
+#include "driver/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace coderep::bench {
+
+/// One benchmark program with its workload.
+struct BenchProgram {
+  std::string Name;
+  std::string Description;
+  std::string Source; ///< MiniC source
+  std::string Input;  ///< bytes served by getchar()
+};
+
+/// The paper's test set, in Table 5 order: cal, quicksort, wc, grep, sort,
+/// od, mincost, bubblesort, matmult, banner, sieve, compact, queens,
+/// deroff.
+const std::vector<BenchProgram> &suite();
+
+/// Returns the program named \p Name; aborts if absent.
+const BenchProgram &program(const std::string &Name);
+
+/// Everything measured about one compile+run.
+struct MeasuredRun {
+  driver::StaticStats Static;
+  ease::DynamicStats Dyn;
+  std::vector<cache::CacheStats> Caches; ///< parallel to the config list
+  std::string Output;
+  int DelaySlotNops = 0; ///< static Nops the delay-slot filler emitted
+};
+
+/// Compiles \p BP for \p TK at \p Level, runs it, and (when \p CacheConfigs
+/// is non-empty) simulates every cache configuration in one pass. Aborts
+/// on compile error or runtime trap: the benchmark suite must be green.
+MeasuredRun measure(const BenchProgram &BP, target::TargetKind TK,
+                    opt::OptLevel Level,
+                    const std::vector<cache::CacheConfig> &CacheConfigs = {},
+                    const opt::PipelineOptions *Override = nullptr);
+
+/// The paper's four cache sizes.
+inline std::vector<uint32_t> paperCacheSizes() {
+  return {1024, 2048, 4096, 8192};
+}
+
+} // namespace coderep::bench
+
+#endif // CODEREP_BENCH_SUITE_H

@@ -1,0 +1,133 @@
+//===- micro_algorithms.cpp - google-benchmark micro costs -----------------------===//
+//
+// Compile-time costs of the machinery: the Warshall/Floyd shortest-path
+// closure (JUMPS step 1, the paper's O(n^3) concern), one full JUMPS pass,
+// and whole-pipeline compilation at each level. Complements the
+// paper-facing tables with the engineering numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Suite.h"
+
+#include "frontend/CodeGen.h"
+#include "replicate/ShortestPaths.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace coderep;
+using namespace coderep::bench;
+
+namespace {
+
+/// Builds a random reducible CFG of \p N blocks (structured nests of
+/// diamonds and loops flattened into a block list).
+std::unique_ptr<cfg::Function> randomCfg(int N, uint64_t Seed) {
+  Rng R(Seed);
+  auto F = std::make_unique<cfg::Function>("synthetic");
+  std::vector<int> Labels;
+  for (int I = 0; I < N; ++I)
+    Labels.push_back(F->freshLabel());
+  rtl::Operand R0 = rtl::Operand::reg(rtl::FirstVirtual);
+  for (int I = 0; I < N; ++I) {
+    cfg::BasicBlock *B = F->appendBlockWithLabel(Labels[I]);
+    int Work = static_cast<int>(R.range(1, 5));
+    for (int W = 0; W < Work; ++W)
+      B->Insns.push_back(
+          rtl::Insn::binary(rtl::Opcode::Add, R0, R0, rtl::Operand::imm(W)));
+    if (I == N - 1) {
+      B->Insns.push_back(rtl::Insn::ret());
+      break;
+    }
+    switch (R.below(4)) {
+    case 0: { // conditional forward branch (diamond-ish)
+      int T = static_cast<int>(R.range(I + 1, std::min(N - 1, I + 6)));
+      B->Insns.push_back(rtl::Insn::compare(R0, rtl::Operand::imm(5)));
+      B->Insns.push_back(rtl::Insn::condJump(rtl::CondCode::Lt, Labels[T]));
+      break;
+    }
+    case 1: { // unconditional forward jump
+      int T = static_cast<int>(R.range(I + 1, std::min(N - 1, I + 4)));
+      B->Insns.push_back(rtl::Insn::jump(Labels[T]));
+      break;
+    }
+    case 2: { // conditional back edge (natural loop)
+      int T = static_cast<int>(R.range(std::max(0, I - 4), I));
+      B->Insns.push_back(rtl::Insn::compare(R0, rtl::Operand::imm(9)));
+      B->Insns.push_back(rtl::Insn::condJump(rtl::CondCode::Gt, Labels[T]));
+      break;
+    }
+    default: // fall through
+      break;
+    }
+  }
+  return F;
+}
+
+void BM_WarshallClosure(benchmark::State &State) {
+  auto F = randomCfg(static_cast<int>(State.range(0)), 42);
+  for (auto _ : State) {
+    replicate::ShortestPaths SP(*F);
+    benchmark::DoNotOptimize(SP.cost(0, F->size() - 1));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_WarshallClosure)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+void BM_JumpsPass(benchmark::State &State) {
+  auto Template = randomCfg(static_cast<int>(State.range(0)), 7);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto F = Template->clone();
+    State.ResumeTiming();
+    replicate::runJumps(*F);
+    benchmark::DoNotOptimize(F->rtlCount());
+  }
+}
+BENCHMARK(BM_JumpsPass)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_CompileProgram(benchmark::State &State) {
+  const BenchProgram &BP = program("quicksort");
+  opt::OptLevel Level = static_cast<opt::OptLevel>(State.range(0));
+  for (auto _ : State) {
+    driver::Compilation C =
+        driver::compile(BP.Source, target::TargetKind::Sparc, Level);
+    benchmark::DoNotOptimize(C.Static.Instructions);
+  }
+  State.SetLabel(opt::optLevelName(Level));
+}
+BENCHMARK(BM_CompileProgram)->DenseRange(0, 2);
+
+void BM_Interpreter(benchmark::State &State) {
+  driver::Compilation C =
+      driver::compile(program("sieve").Source, target::TargetKind::Sparc,
+                      opt::OptLevel::Jumps);
+  for (auto _ : State) {
+    ease::RunOptions RO;
+    ease::RunResult R = ease::run(*C.Prog, RO);
+    benchmark::DoNotOptimize(R.Stats.Executed);
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_CacheSim(benchmark::State &State) {
+  driver::Compilation C =
+      driver::compile(program("queens").Source, target::TargetKind::Sparc,
+                      opt::OptLevel::Jumps);
+  std::vector<cache::CacheConfig> Configs;
+  cache::CacheConfig CC;
+  CC.SizeBytes = static_cast<uint32_t>(State.range(0));
+  Configs.push_back(CC);
+  for (auto _ : State) {
+    cache::CacheBank Bank(Configs);
+    ease::RunOptions RO;
+    RO.Sink = &Bank;
+    ease::RunResult R = ease::run(*C.Prog, RO);
+    benchmark::DoNotOptimize(Bank.caches()[0].stats().Misses);
+  }
+}
+BENCHMARK(BM_CacheSim)->Arg(1024)->Arg(8192);
+
+} // namespace
+
+BENCHMARK_MAIN();

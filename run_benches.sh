@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every paper table/figure; used to produce bench_output.txt.
+set -e
+cd "$(dirname "$0")"
+for b in table1_loop_exit table2_if_then_else fig1_natural_loops \
+         fig2_overlap fig3_phase_order table4_jump_fraction \
+         table5_instructions table6_cache sec52_branch_stats \
+         ablation_heuristics ablation_length_cap; do
+  echo "##### bench/$b #####"
+  ./build/bench/$b
+  echo
+done
+echo "##### bench/micro_algorithms #####"
+./build/bench/micro_algorithms --benchmark_min_time=0.05s

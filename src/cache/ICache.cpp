@@ -1,0 +1,57 @@
+//===- ICache.cpp - Direct-mapped instruction cache simulator ---------------===//
+
+#include "cache/ICache.h"
+
+#include "support/Check.h"
+
+using namespace coderep;
+using namespace coderep::cache;
+
+ICache::ICache(const CacheConfig &Config) : Config(Config) {
+  CODEREP_CHECK(Config.LineBytes > 0 &&
+                    (Config.LineBytes & (Config.LineBytes - 1)) == 0,
+                "line size must be a power of two");
+  CODEREP_CHECK(Config.SizeBytes % Config.LineBytes == 0,
+                "cache size must be a multiple of the line size");
+  NumLines = Config.SizeBytes / Config.LineBytes;
+  Tags.assign(NumLines, -1);
+}
+
+void ICache::flush() {
+  Tags.assign(NumLines, -1);
+  ++Stats.Flushes;
+}
+
+void ICache::fetch(uint32_t Addr) {
+  uint32_t LineAddr = Addr / Config.LineBytes;
+  uint32_t Index = LineAddr % NumLines;
+  int64_t Tag = static_cast<int64_t>(LineAddr);
+  ++Stats.Fetches;
+  uint32_t Cost;
+  if (Tags[Index] == Tag) {
+    Cost = Config.HitCost;
+  } else {
+    Tags[Index] = Tag;
+    ++Stats.Misses;
+    Cost = Config.MissCost;
+  }
+  Stats.FetchCost += Cost;
+  if (Config.ContextSwitches) {
+    CostSinceSwitch += Cost;
+    if (CostSinceSwitch >= Config.SwitchInterval) {
+      CostSinceSwitch = 0;
+      flush();
+    }
+  }
+}
+
+CacheBank::CacheBank(const std::vector<CacheConfig> &Configs) {
+  Caches.reserve(Configs.size());
+  for (const CacheConfig &C : Configs)
+    Caches.emplace_back(C);
+}
+
+void CacheBank::fetch(uint32_t Addr) {
+  for (ICache &C : Caches)
+    C.fetch(Addr);
+}

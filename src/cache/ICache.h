@@ -1,0 +1,86 @@
+//===- ICache.h - Direct-mapped instruction cache simulator -----*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction-cache model of the paper's Section 5.3: a direct-mapped
+/// cache with 16-byte lines, fetch cost = hits * 1 + misses * 10, and
+/// optional simulated context switches that invalidate the entire cache
+/// every 10,000 cost units (parameters adopted from Smith's cache studies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CACHE_ICACHE_H
+#define CODEREP_CACHE_ICACHE_H
+
+#include "ease/Interp.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace coderep::cache {
+
+/// Configuration of one simulated cache.
+struct CacheConfig {
+  uint32_t SizeBytes = 1024;       ///< total capacity (1Kb..8Kb in the paper)
+  uint32_t LineBytes = 16;         ///< paper: 16 bytes per line
+  uint32_t HitCost = 1;            ///< time units per hit
+  uint32_t MissCost = 10;          ///< time units per miss
+  bool ContextSwitches = false;    ///< flush every SwitchInterval units
+  uint32_t SwitchInterval = 10000; ///< Smith's context-switch interval
+};
+
+/// Simulation counters.
+struct CacheStats {
+  uint64_t Fetches = 0;
+  uint64_t Misses = 0;
+  uint64_t FetchCost = 0; ///< hits * HitCost + misses * MissCost
+  uint64_t Flushes = 0;
+
+  double missRatio() const {
+    return Fetches ? static_cast<double>(Misses) / Fetches : 0.0;
+  }
+};
+
+/// One direct-mapped instruction cache fed with fetch addresses.
+class ICache {
+public:
+  explicit ICache(const CacheConfig &Config);
+
+  /// Simulates one instruction fetch.
+  void fetch(uint32_t Addr);
+
+  const CacheStats &stats() const { return Stats; }
+  const CacheConfig &config() const { return Config; }
+
+  /// Invalidates every line.
+  void flush();
+
+private:
+  CacheConfig Config;
+  CacheStats Stats;
+  std::vector<int64_t> Tags; ///< -1 = invalid
+  uint32_t NumLines;
+  uint64_t CostSinceSwitch = 0;
+};
+
+/// A FetchSink that feeds several cache configurations at once, so one
+/// interpreter run produces the whole cache-size sweep of Table 6.
+class CacheBank : public ease::FetchSink {
+public:
+  explicit CacheBank(const std::vector<CacheConfig> &Configs);
+
+  void fetch(uint32_t Addr) override;
+
+  const std::vector<ICache> &caches() const { return Caches; }
+
+private:
+  std::vector<ICache> Caches;
+};
+
+} // namespace coderep::cache
+
+#endif // CODEREP_CACHE_ICACHE_H

@@ -1,0 +1,79 @@
+//===- BasicBlock.h - Basic blocks of RTLs ----------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block holds a straight-line RTL sequence. Blocks live inside a
+/// Function in *positional order*: a block whose last RTL is not an
+/// unconditional transfer falls through to the positionally next block.
+/// Positional order is semantically meaningful throughout the paper ("the
+/// block positionally following the unconditional jump", JUMPS step 2), so
+/// the representation keeps it explicit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CFG_BASICBLOCK_H
+#define CODEREP_CFG_BASICBLOCK_H
+
+#include "rtl/Insn.h"
+
+#include <optional>
+#include <vector>
+
+namespace coderep::cfg {
+
+/// A maximal straight-line sequence of RTLs with a unique label.
+class BasicBlock {
+public:
+  explicit BasicBlock(int Label) : Label(Label) {}
+
+  /// Unique label id within the function; branches name blocks by label so
+  /// that blocks can be reordered and replicated without rewriting every
+  /// branch.
+  int Label;
+
+  /// The RTLs of the block. At most the last one is a control transfer.
+  std::vector<rtl::Insn> Insns;
+
+  /// On delay-slot targets (SPARC), the RTL architecturally executed after
+  /// the terminating transfer. Filled by the delay-slot pass; Nop when no
+  /// independent RTL was available.
+  std::optional<rtl::Insn> DelaySlot;
+
+  /// Returns the terminating transfer RTL, or nullptr if the block falls
+  /// through unconditionally.
+  rtl::Insn *terminator() {
+    if (Insns.empty() || !Insns.back().isTransfer())
+      return nullptr;
+    return &Insns.back();
+  }
+  const rtl::Insn *terminator() const {
+    return const_cast<BasicBlock *>(this)->terminator();
+  }
+
+  /// True if control can leave this block only through its terminator.
+  bool endsWithUnconditionalTransfer() const {
+    const rtl::Insn *T = terminator();
+    return T && T->isUnconditionalTransfer();
+  }
+
+  /// True if the block's terminator is a plain unconditional jump - the
+  /// instruction the replication pass exists to remove.
+  bool endsWithJump() const {
+    const rtl::Insn *T = terminator();
+    return T && T->Op == rtl::Opcode::Jump;
+  }
+
+  /// Number of RTLs, the unit in which the paper measures path lengths and
+  /// code growth. Includes the delay slot when present.
+  int rtlCount() const {
+    return static_cast<int>(Insns.size()) + (DelaySlot ? 1 : 0);
+  }
+};
+
+} // namespace coderep::cfg
+
+#endif // CODEREP_CFG_BASICBLOCK_H

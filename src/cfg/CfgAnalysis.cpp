@@ -1,0 +1,223 @@
+//===- CfgAnalysis.cpp - CFG traversals, dominators, loops -----------------===//
+
+#include "cfg/CfgAnalysis.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace coderep;
+using namespace coderep::cfg;
+
+std::vector<bool> cfg::reachableBlocks(const Function &F) {
+  std::vector<bool> Seen(F.size(), false);
+  std::vector<int> Stack = {0};
+  Seen[0] = true;
+  while (!Stack.empty()) {
+    int B = Stack.back();
+    Stack.pop_back();
+    for (int S : F.successors(B))
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+int cfg::removeUnreachableBlocks(Function &F) {
+  std::vector<bool> Seen = reachableBlocks(F);
+  int Removed = 0;
+  for (int I = F.size() - 1; I >= 0; --I)
+    if (!Seen[I]) {
+      F.eraseBlock(I);
+      ++Removed;
+    }
+  return Removed;
+}
+
+std::vector<int> cfg::reversePostorder(const Function &F) {
+  std::vector<int> Post;
+  std::vector<int> State(F.size(), 0); // 0 unseen, 1 on stack, 2 done
+  // Iterative DFS with an explicit stack of (node, next-successor) pairs.
+  std::vector<std::pair<int, int>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextIdx] = Stack.back();
+    std::vector<int> Succs = F.successors(Node);
+    if (NextIdx < static_cast<int>(Succs.size())) {
+      int S = Succs[NextIdx++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      State[Node] = 2;
+      Post.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}
+
+Dominators::Dominators(const Function &F) : Idom(F.size(), -1) {
+  std::vector<int> Rpo = reversePostorder(F);
+  std::vector<int> RpoNumber(F.size(), -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<int>(I);
+  std::vector<std::vector<int>> Preds = F.predecessors();
+
+  auto intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B : Rpo) {
+      if (B == 0)
+        continue;
+      int NewIdom = -1;
+      for (int P : Preds[B]) {
+        if (RpoNumber[P] < 0 || Idom[P] < 0)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom < 0 ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom >= 0 && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  Idom[0] = -1; // the entry has no immediate dominator
+}
+
+bool Dominators::dominates(int A, int B) const {
+  if (B != 0 && Idom[B] < 0)
+    return false; // B unreachable
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    B = Idom[B];
+    if (B < 0)
+      return false;
+  }
+}
+
+bool NaturalLoop::contains(int Index) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), Index);
+}
+
+LoopInfo::LoopInfo(const Function &F) {
+  Dominators Dom(F);
+  std::vector<bool> Reachable = reachableBlocks(F);
+  std::vector<std::vector<int>> Preds = F.predecessors();
+
+  // Collect back edges grouped by header.
+  std::vector<std::vector<int>> BackEdgeSources(F.size());
+  for (int B = 0; B < F.size(); ++B) {
+    if (!Reachable[B])
+      continue;
+    for (int S : F.successors(B))
+      if (Dom.dominates(S, B))
+        BackEdgeSources[S].push_back(B);
+  }
+
+  for (int H = 0; H < F.size(); ++H) {
+    if (BackEdgeSources[H].empty())
+      continue;
+    // Standard natural-loop body computation: walk predecessors backwards
+    // from every back-edge source until the header is reached.
+    std::set<int> Body = {H};
+    std::vector<int> Work = BackEdgeSources[H];
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      if (!Body.insert(B).second)
+        continue;
+      for (int P : Preds[B])
+        if (Reachable[P])
+          Work.push_back(P);
+    }
+    NaturalLoop L;
+    L.Header = H;
+    L.Blocks.assign(Body.begin(), Body.end());
+    Loops.push_back(std::move(L));
+  }
+}
+
+const NaturalLoop *LoopInfo::loopWithHeader(int Index) const {
+  for (const NaturalLoop &L : Loops)
+    if (L.Header == Index)
+      return &L;
+  return nullptr;
+}
+
+const NaturalLoop *LoopInfo::innermostLoopContaining(int Index) const {
+  const NaturalLoop *Best = nullptr;
+  for (const NaturalLoop &L : Loops)
+    if (L.contains(Index))
+      if (!Best || L.Blocks.size() < Best->Blocks.size())
+        Best = &L;
+  return Best;
+}
+
+bool cfg::isReducible(const Function &F) {
+  std::vector<bool> Reachable = reachableBlocks(F);
+  // Successor sets over reachable blocks only, with merged-node tracking.
+  int N = F.size();
+  std::vector<std::set<int>> Succ(N), Pred(N);
+  std::vector<bool> Alive(N, false);
+  int AliveCount = 0;
+  for (int B = 0; B < N; ++B) {
+    if (!Reachable[B])
+      continue;
+    Alive[B] = true;
+    ++AliveCount;
+    for (int S : F.successors(B)) {
+      if (S == B)
+        continue; // T1 applied eagerly
+      Succ[B].insert(S);
+      Pred[S].insert(B);
+    }
+  }
+  // Repeatedly apply T2: merge a non-entry node with a unique predecessor
+  // into that predecessor, applying T1 (self-loop removal) as merges create
+  // self-loops. Reducible iff the graph collapses to the entry alone.
+  bool Changed = true;
+  while (Changed && AliveCount > 1) {
+    Changed = false;
+    for (int B = 0; B < N; ++B) {
+      if (!Alive[B] || B == 0 || Pred[B].size() != 1)
+        continue;
+      int P = *Pred[B].begin();
+      // Merge B into P.
+      for (int S : Succ[B]) {
+        Pred[S].erase(B);
+        if (S != P) { // T1: drop the would-be self loop P->P
+          Succ[P].insert(S);
+          Pred[S].insert(P);
+        }
+      }
+      Succ[P].erase(B);
+      Succ[B].clear();
+      Pred[B].clear();
+      Alive[B] = false;
+      --AliveCount;
+      Changed = true;
+    }
+  }
+  return AliveCount == 1;
+}

@@ -1,0 +1,176 @@
+//===- Function.cpp - Functions and whole programs --------------------------===//
+
+#include "cfg/Function.h"
+
+#include "support/Check.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+
+BasicBlock *Function::appendBlock() {
+  return appendBlockWithLabel(freshLabel());
+}
+
+BasicBlock *Function::appendBlockWithLabel(int Label) {
+  CODEREP_CHECK(Label >= 0 && Label < NextLabel, "label was not allocated");
+  Blocks.push_back(std::make_unique<BasicBlock>(Label));
+  invalidateLabelCache();
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::insertBlock(int Index) {
+  CODEREP_CHECK(Index >= 0 && Index <= size(), "insert position out of range");
+  Blocks.insert(Blocks.begin() + Index,
+                std::make_unique<BasicBlock>(freshLabel()));
+  invalidateLabelCache();
+  return Blocks[Index].get();
+}
+
+void Function::insertBlock(int Index, std::unique_ptr<BasicBlock> Block) {
+  CODEREP_CHECK(Index >= 0 && Index <= size(), "insert position out of range");
+  Blocks.insert(Blocks.begin() + Index, std::move(Block));
+  invalidateLabelCache();
+}
+
+void Function::eraseBlock(int Index) {
+  CODEREP_CHECK(Index >= 0 && Index < size(), "erase position out of range");
+  Blocks.erase(Blocks.begin() + Index);
+  invalidateLabelCache();
+}
+
+int Function::indexOfLabel(int Label) const {
+  if (!LabelCacheValid) {
+    LabelCache.clear();
+    for (int I = 0; I < size(); ++I)
+      LabelCache[Blocks[I]->Label] = I;
+    LabelCacheValid = true;
+  }
+  auto It = LabelCache.find(Label);
+  return It == LabelCache.end() ? -1 : It->second;
+}
+
+std::vector<int> Function::successors(int Index) const {
+  std::vector<int> Out;
+  const BasicBlock *B = block(Index);
+  const rtl::Insn *T = B->terminator();
+  auto addLabel = [&](int Label) {
+    int Idx = indexOfLabel(Label);
+    CODEREP_CHECK(Idx >= 0, "branch to unknown label");
+    Out.push_back(Idx);
+  };
+  if (!T) {
+    if (Index + 1 < size())
+      Out.push_back(Index + 1);
+    return Out;
+  }
+  switch (T->Op) {
+  case rtl::Opcode::CondJump:
+    CODEREP_CHECK(Index + 1 < size(), "conditional branch falls off the end");
+    Out.push_back(Index + 1);
+    addLabel(T->Target);
+    break;
+  case rtl::Opcode::Jump:
+    addLabel(T->Target);
+    break;
+  case rtl::Opcode::SwitchJump:
+    for (int Label : T->Table)
+      addLabel(Label);
+    break;
+  case rtl::Opcode::Return:
+    break;
+  default:
+    CODEREP_UNREACHABLE("non-transfer terminator");
+  }
+  return Out;
+}
+
+std::vector<std::vector<int>> Function::predecessors() const {
+  std::vector<std::vector<int>> Preds(size());
+  for (int I = 0; I < size(); ++I)
+    for (int S : successors(I))
+      Preds[S].push_back(I);
+  return Preds;
+}
+
+int Function::rtlCount() const {
+  int N = 0;
+  for (const auto &B : Blocks)
+    N += B->rtlCount();
+  return N;
+}
+
+void Function::normalizeFallthroughs() {
+  for (int I = 0; I < size(); ++I) {
+    BasicBlock *B = block(I);
+    // Delete a jump to the positionally next block.
+    if (B->endsWithJump() && I + 1 < size() &&
+        B->Insns.back().Target == block(I + 1)->Label) {
+      B->Insns.pop_back();
+      continue;
+    }
+    // A block that falls through must be followed by its successor; the
+    // last block must not fall through at all.
+    if (!B->endsWithUnconditionalTransfer() && B->terminator() == nullptr) {
+      // Plain fall-through block: fine unless it is last.
+      if (I + 1 == size())
+        CODEREP_UNREACHABLE("function falls off the end");
+    }
+  }
+  invalidateLabelCache();
+}
+
+std::unique_ptr<Function> Function::clone() const {
+  auto F = std::make_unique<Function>(Name);
+  F->FrameBytes = FrameBytes;
+  F->ParamBytes = ParamBytes;
+  F->PromotableLocals = PromotableLocals;
+  F->NextLabel = NextLabel;
+  F->NextVReg = NextVReg;
+  for (const auto &B : Blocks) {
+    auto NB = std::make_unique<BasicBlock>(B->Label);
+    NB->Insns = B->Insns;
+    NB->DelaySlot = B->DelaySlot;
+    F->Blocks.push_back(std::move(NB));
+  }
+  return F;
+}
+
+void Function::adoptBlocksFrom(Function &Other) {
+  Blocks = std::move(Other.Blocks);
+  NextLabel = Other.NextLabel;
+  NextVReg = Other.NextVReg;
+  invalidateLabelCache();
+}
+
+void Function::verify() const {
+  CODEREP_CHECK(size() > 0, "function has no blocks");
+  for (int I = 0; I < size(); ++I) {
+    const BasicBlock *B = block(I);
+    for (size_t J = 0; J < B->Insns.size(); ++J) {
+      const rtl::Insn &Insn = B->Insns[J];
+      if (J + 1 != B->Insns.size())
+        CODEREP_CHECK(!Insn.isTransfer(), "transfer in the middle of a block");
+    }
+    // successors() checks target resolvability and fall-through legality.
+    (void)successors(I);
+    if (B->DelaySlot)
+      CODEREP_CHECK(!B->DelaySlot->isTransfer(), "transfer in delay slot");
+  }
+  const BasicBlock *Last = block(size() - 1);
+  CODEREP_CHECK(Last->endsWithUnconditionalTransfer(),
+                "last block falls off the end of the function");
+}
+
+int Program::findFunction(const std::string &Name) const {
+  for (size_t I = 0; I < Functions.size(); ++I)
+    if (Functions[I]->Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Program::rtlCount() const {
+  int N = 0;
+  for (const auto &F : Functions)
+    N += F->rtlCount();
+  return N;
+}

@@ -1,0 +1,150 @@
+//===- Function.h - Functions and whole programs ----------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function (an ordered list of basic blocks plus frame layout) and Program
+/// (functions + global data). Blocks are stored by value pointer in
+/// positional order; all analyses address blocks by positional index, and
+/// branches address them by label, so replication can splice copies into the
+/// positional order without disturbing either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CFG_FUNCTION_H
+#define CODEREP_CFG_FUNCTION_H
+
+#include "cfg/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace coderep::cfg {
+
+/// A compiled function.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  std::string Name;
+  int FrameBytes = 0; ///< bytes of locals below the frame pointer
+  int ParamBytes = 0; ///< bytes of incoming parameters above FP
+
+  /// FP-relative offsets of word-sized scalar variables whose address is
+  /// never taken. Filled by the front end; the optimizer's register
+  /// assignment promotes these to registers (the "register assignment"
+  /// phase of the paper's Figure 3).
+  std::vector<int> PromotableLocals;
+
+  /// Appends a new empty block with a fresh label and returns it.
+  BasicBlock *appendBlock();
+
+  /// Appends a new empty block carrying \p Label, which must have been
+  /// obtained from freshLabel() (supports forward branch references).
+  BasicBlock *appendBlockWithLabel(int Label);
+
+  /// Inserts a new empty block with a fresh label at position \p Index.
+  BasicBlock *insertBlock(int Index);
+
+  /// Inserts an existing block at position \p Index (takes ownership).
+  void insertBlock(int Index, std::unique_ptr<BasicBlock> Block);
+
+  /// Removes the block at position \p Index.
+  void eraseBlock(int Index);
+
+  int size() const { return static_cast<int>(Blocks.size()); }
+  BasicBlock *block(int Index) { return Blocks[Index].get(); }
+  const BasicBlock *block(int Index) const { return Blocks[Index].get(); }
+
+  /// Returns the positional index of the block labelled \p Label, or -1.
+  int indexOfLabel(int Label) const;
+
+  /// Allocates a label never used before in this function.
+  int freshLabel() { return NextLabel++; }
+
+  /// Allocates a virtual register never used before in this function.
+  int freshVReg() { return NextVReg++; }
+
+  /// One past the largest virtual register ever allocated.
+  int vregLimit() const { return NextVReg; }
+
+  /// Positional indices of the possible successors of block \p Index:
+  /// fall-through first for conditional branches and plain fall-through
+  /// blocks, then explicit targets.
+  std::vector<int> successors(int Index) const;
+
+  /// Predecessor lists for every block.
+  std::vector<std::vector<int>> predecessors() const;
+
+  /// Total number of RTLs (the paper's static instruction count for this
+  /// function).
+  int rtlCount() const;
+
+  /// Re-establishes the structural invariants after a transformation that
+  /// reordered or removed blocks: a block whose fall-through successor is
+  /// not the positionally next block gets an explicit Jump appended, and a
+  /// Jump to the positionally next block is deleted.
+  void normalizeFallthroughs();
+
+  /// Deep copy, used by JUMPS step 6 to roll back a replication that made
+  /// the flow graph non-reducible.
+  std::unique_ptr<Function> clone() const;
+
+  /// Moves the whole block list out / in (used with clone() for rollback).
+  void adoptBlocksFrom(Function &Other);
+
+  /// Verifies structural invariants (transfers only at block ends, branch
+  /// targets resolvable, final block does not fall off the end). Aborts
+  /// with a message on violation.
+  void verify() const;
+
+private:
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  int NextLabel = 0;
+  int NextVReg = rtl::FirstVirtual;
+
+  mutable std::unordered_map<int, int> LabelCache;
+  mutable bool LabelCacheValid = false;
+  void invalidateLabelCache() { LabelCacheValid = false; }
+};
+
+/// A global datum. Globals are laid out contiguously by the interpreter;
+/// memory operands reference them by symbol id.
+struct Global {
+  std::string Name;
+  int Size = 0;               ///< bytes
+  std::vector<uint8_t> Init;  ///< initializer, zero-padded to Size
+
+  /// Relocations: the word at byte offset .first receives the runtime
+  /// address of global .second (for string tables like char *t[] = {...}).
+  std::vector<std::pair<int, int>> Relocs;
+};
+
+/// A whole compiled program.
+class Program {
+public:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<Global> Globals;
+
+  /// Index of function \p Name, or -1.
+  int findFunction(const std::string &Name) const;
+
+  /// Adds a global and returns its symbol id.
+  int addGlobal(Global G) {
+    Globals.push_back(std::move(G));
+    return static_cast<int>(Globals.size()) - 1;
+  }
+
+  /// Total static RTL count over all functions (Table 5's "static
+  /// instructions").
+  int rtlCount() const;
+};
+
+} // namespace coderep::cfg
+
+#endif // CODEREP_CFG_FUNCTION_H

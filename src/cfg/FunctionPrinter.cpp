@@ -1,0 +1,29 @@
+//===- FunctionPrinter.cpp - Textual dump of functions ----------------------===//
+
+#include "cfg/FunctionPrinter.h"
+
+#include "support/Format.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+
+std::string cfg::toString(const Function &F) {
+  std::string Out = format("function %s (frame %d bytes)\n", F.Name.c_str(),
+                           F.FrameBytes);
+  for (int I = 0; I < F.size(); ++I) {
+    const BasicBlock *B = F.block(I);
+    Out += format("L%d:\n", B->Label);
+    for (const rtl::Insn &Insn : B->Insns)
+      Out += "    " + rtl::toString(Insn) + "\n";
+    if (B->DelaySlot)
+      Out += "    [slot] " + rtl::toString(*B->DelaySlot) + "\n";
+  }
+  return Out;
+}
+
+std::string cfg::toString(const Program &P) {
+  std::string Out;
+  for (const auto &F : P.Functions)
+    Out += toString(*F) + "\n";
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- FunctionPrinter.h - Textual dump of functions ------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions in the paper's listing style: a label line "L<k>"
+/// followed by one RTL per line, blocks in positional order. Used by the
+/// examples and the Table 1 / Table 2 benches to show before/after code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CFG_FUNCTIONPRINTER_H
+#define CODEREP_CFG_FUNCTIONPRINTER_H
+
+#include "cfg/Function.h"
+
+#include <string>
+
+namespace coderep::cfg {
+
+/// Renders \p F as text.
+std::string toString(const Function &F);
+
+/// Renders every function of \p P.
+std::string toString(const Program &P);
+
+} // namespace coderep::cfg
+
+#endif // CODEREP_CFG_FUNCTIONPRINTER_H

@@ -1,0 +1,83 @@
+//===- Compiler.cpp - End-to-end compilation driver ---------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "frontend/CodeGen.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::driver;
+using namespace coderep::rtl;
+
+StaticStats driver::staticStats(const Program &P) {
+  StaticStats S;
+  for (const auto &F : P.Functions) {
+    S.Blocks += F->size();
+    for (int B = 0; B < F->size(); ++B) {
+      const BasicBlock *Block = F->block(B);
+      S.Instructions += Block->rtlCount();
+      auto count = [&S](const Insn &I) {
+        switch (I.Op) {
+        case Opcode::Jump:
+          ++S.UncondJumps;
+          break;
+        case Opcode::SwitchJump:
+          ++S.IndirectJumps;
+          break;
+        case Opcode::CondJump:
+          ++S.CondBranches;
+          break;
+        case Opcode::Nop:
+          ++S.Nops;
+          break;
+        default:
+          break;
+        }
+      };
+      for (const Insn &I : Block->Insns)
+        count(I);
+      if (Block->DelaySlot)
+        count(*Block->DelaySlot);
+    }
+  }
+  return S;
+}
+
+Compilation driver::compile(const std::string &Source, target::TargetKind TK,
+                            opt::OptLevel Level,
+                            const opt::PipelineOptions *Override) {
+  Compilation Result;
+  Result.Prog = std::make_unique<Program>();
+  if (!frontend::compileToRtl(Source, *Result.Prog, Result.Error))
+    return Result;
+
+  std::unique_ptr<target::Target> T = target::createTarget(TK);
+  for (auto &F : Result.Prog->Functions) {
+    T->legalizeFunction(*F);
+    F->verify();
+  }
+
+  opt::PipelineOptions Options;
+  if (Override)
+    Options = *Override;
+  Options.Level = Level;
+  opt::optimizeProgram(*Result.Prog, *T, Options, &Result.Pipeline);
+  Result.Static = staticStats(*Result.Prog);
+  return Result;
+}
+
+ease::RunResult driver::compileAndRun(const std::string &Source,
+                                      target::TargetKind TK,
+                                      opt::OptLevel Level,
+                                      const std::string &Input) {
+  Compilation C = compile(Source, TK, Level);
+  if (!C.ok()) {
+    ease::RunResult R;
+    R.TrapKind = ease::Trap::BadProgram;
+    R.TrapMessage = C.Error;
+    return R;
+  }
+  ease::RunOptions Options;
+  Options.Input = Input;
+  return ease::run(*C.Prog, Options);
+}

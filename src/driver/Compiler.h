@@ -1,0 +1,64 @@
+//===- Compiler.h - End-to-end compilation driver ---------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call pipeline: MiniC source -> RTL -> target legalization ->
+/// optimization at a chosen level (SIMPLE/LOOPS/JUMPS) -> static metrics,
+/// plus a helper that runs the result under the EASE-style interpreter.
+/// This is the public API the examples, tests and benches use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_DRIVER_COMPILER_H
+#define CODEREP_DRIVER_COMPILER_H
+
+#include "cfg/Function.h"
+#include "ease/Interp.h"
+#include "opt/Pipeline.h"
+#include "target/Target.h"
+
+#include <memory>
+#include <string>
+
+namespace coderep::driver {
+
+/// Static code metrics of a compiled program (Table 4/5 ingredients).
+struct StaticStats {
+  int Instructions = 0;   ///< total RTLs
+  int UncondJumps = 0;    ///< Jump RTLs
+  int IndirectJumps = 0;  ///< SwitchJump RTLs
+  int CondBranches = 0;   ///< CondJump RTLs
+  int Blocks = 0;
+  int Nops = 0;           ///< Nop delay-slot fillers
+};
+
+/// Computes static metrics for \p P.
+StaticStats staticStats(const cfg::Program &P);
+
+/// A compiled program plus everything measured about it.
+struct Compilation {
+  std::unique_ptr<cfg::Program> Prog;
+  opt::PipelineStats Pipeline;
+  StaticStats Static;
+  std::string Error; ///< non-empty on failure
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Compiles \p Source for \p TK at \p Level.
+Compilation compile(const std::string &Source, target::TargetKind TK,
+                    opt::OptLevel Level,
+                    const opt::PipelineOptions *Override = nullptr);
+
+/// Compiles and runs: convenience for tests and examples.
+ease::RunResult compileAndRun(const std::string &Source,
+                              target::TargetKind TK, opt::OptLevel Level,
+                              const std::string &Input = "");
+
+} // namespace coderep::driver
+
+#endif // CODEREP_DRIVER_COMPILER_H

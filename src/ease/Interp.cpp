@@ -1,0 +1,623 @@
+//===- Interp.cpp - RTL interpreter with EASE-style measurement -------------===//
+
+#include "ease/Interp.h"
+
+#include "support/Check.h"
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::ease;
+using namespace coderep::rtl;
+
+FetchSink::~FetchSink() = default;
+
+CodeLayout ease::layoutCode(const Program &P, uint32_t Base) {
+  CodeLayout L;
+  uint32_t Addr = Base;
+  for (const auto &F : P.Functions) {
+    std::vector<uint32_t> Blocks;
+    Blocks.reserve(F->size());
+    for (int B = 0; B < F->size(); ++B) {
+      Blocks.push_back(Addr);
+      Addr += 4 * static_cast<uint32_t>(F->block(B)->rtlCount());
+    }
+    L.BlockAddr.push_back(std::move(Blocks));
+  }
+  L.CodeBytes = Addr - Base;
+  return L;
+}
+
+namespace {
+
+/// First data address handed to globals; lower addresses trap so that null
+/// dereferences are caught.
+constexpr uint32_t GlobalBase = 0x100;
+
+class Machine {
+public:
+  Machine(const Program &P, const RunOptions &Options)
+      : P(P), Options(Options), Layout(layoutCode(P)) {
+    Mem.assign(Options.MemBytes, 0);
+  }
+
+  RunResult run();
+
+private:
+  const Program &P;
+  const RunOptions &Options;
+  CodeLayout Layout;
+
+  std::vector<uint8_t> Mem;
+  std::vector<uint32_t> GlobalAddr;
+
+  // Current position.
+  int Func = -1;
+  int Block = 0;
+  int InsnIdx = 0;
+  std::vector<int64_t> Regs;
+
+  struct Frame {
+    int Func;
+    int Block;
+    int InsnIdx;
+    std::vector<int64_t> Regs;
+  };
+  std::vector<Frame> CallStack;
+
+  RunResult Result;
+  bool Halted = false;
+  size_t InputPos = 0;
+  uint64_t Steps = 0;
+
+  //===--- helpers -------------------------------------------------------===//
+
+  void trap(Trap Kind, std::string Msg) {
+    if (Halted)
+      return;
+    Result.TrapKind = Kind;
+    Result.TrapMessage = std::move(Msg);
+    Halted = true;
+  }
+
+  const Function &fn() const { return *P.Functions[Func]; }
+
+  size_t regSlot(int R) {
+    if (R < FirstVirtual) {
+      CODEREP_CHECK(R >= 0 && R < 64, "physical register out of range");
+      return static_cast<size_t>(R);
+    }
+    return 64 + static_cast<size_t>(R - FirstVirtual);
+  }
+
+  std::vector<int64_t> freshRegs(const Function &F) {
+    return std::vector<int64_t>(64 + (F.vregLimit() - FirstVirtual), 0);
+  }
+
+  int64_t getReg(int R) {
+    size_t S = regSlot(R);
+    if (S >= Regs.size()) {
+      trap(Trap::BadProgram, "register out of range");
+      return 0;
+    }
+    return Regs[S];
+  }
+
+  void setReg(int R, int64_t V) {
+    size_t S = regSlot(R);
+    if (S >= Regs.size()) {
+      trap(Trap::BadProgram, "register out of range");
+      return;
+    }
+    Regs[S] = V;
+  }
+
+  bool checkAddr(uint32_t Addr, uint32_t Size) {
+    if (Addr < GlobalBase || Addr + Size > Mem.size() || Addr + Size < Addr) {
+      trap(Trap::OutOfBounds, format("memory access at 0x%x", Addr));
+      return false;
+    }
+    return true;
+  }
+
+  int64_t load(uint32_t Addr, uint8_t Size) {
+    if (!checkAddr(Addr, Size))
+      return 0;
+    if (Size == 1)
+      return static_cast<int8_t>(Mem[Addr]);
+    uint32_t V;
+    std::memcpy(&V, &Mem[Addr], 4);
+    return static_cast<int32_t>(V);
+  }
+
+  void store(uint32_t Addr, uint8_t Size, int64_t Value) {
+    if (!checkAddr(Addr, Size))
+      return;
+    if (Size == 1) {
+      Mem[Addr] = static_cast<uint8_t>(Value);
+      return;
+    }
+    uint32_t V = static_cast<uint32_t>(Value);
+    std::memcpy(&Mem[Addr], &V, 4);
+  }
+
+  uint32_t memAddr(const Operand &O) {
+    int64_t Addr = O.Disp;
+    if (O.Sym >= 0) {
+      if (O.Sym >= static_cast<int>(GlobalAddr.size())) {
+        trap(Trap::BadProgram, "bad global symbol");
+        return 0;
+      }
+      Addr += GlobalAddr[O.Sym];
+    }
+    if (O.Base >= 0)
+      Addr += getReg(O.Base);
+    if (O.Index >= 0)
+      Addr += getReg(O.Index) * O.Scale;
+    return static_cast<uint32_t>(Addr);
+  }
+
+  int64_t eval(const Operand &O) {
+    switch (O.Kind) {
+    case OperandKind::Reg:
+      return getReg(O.Base);
+    case OperandKind::Imm:
+      return O.Disp;
+    case OperandKind::Mem:
+      return load(memAddr(O), O.Size);
+    case OperandKind::None:
+      trap(Trap::BadProgram, "use of missing operand");
+      return 0;
+    }
+    return 0;
+  }
+
+  void writeResult(const Operand &Dst, int64_t Value) {
+    Value = static_cast<int32_t>(Value); // 32-bit machine words
+    if (Dst.isReg()) {
+      setReg(Dst.Base, Value);
+      return;
+    }
+    if (Dst.isMem()) {
+      store(memAddr(Dst), Dst.Size, Value);
+      return;
+    }
+    trap(Trap::BadProgram, "bad destination operand");
+  }
+
+  void jumpToLabel(int Label) {
+    int Idx = fn().indexOfLabel(Label);
+    if (Idx < 0) {
+      trap(Trap::BadProgram, "jump to unknown label");
+      return;
+    }
+    Block = Idx;
+    InsnIdx = 0;
+  }
+
+  //===--- intrinsics ----------------------------------------------------===//
+
+  int64_t intrinsicArg(int I) {
+    return load(static_cast<uint32_t>(getReg(RegSP)) + 4 * I, 4);
+  }
+
+  std::string readCString(uint32_t Addr) {
+    std::string S;
+    while (true) {
+      if (!checkAddr(Addr, 1))
+        return S;
+      char C = static_cast<char>(Mem[Addr++]);
+      if (!C)
+        return S;
+      S.push_back(C);
+      if (S.size() > Mem.size())
+        return S; // cyclic garbage guard
+    }
+  }
+
+  void doPrintf();
+  void doIntrinsic(int Callee);
+
+  //===--- execution -----------------------------------------------------===//
+
+  void execute(const Insn &I);
+  void executeDelaySlot(const BasicBlock &B);
+};
+
+void Machine::doPrintf() {
+  std::string Fmt = readCString(static_cast<uint32_t>(intrinsicArg(0)));
+  int ArgIdx = 1;
+  std::string &Out = Result.Output;
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    char C = Fmt[I];
+    if (C != '%') {
+      Out.push_back(C);
+      continue;
+    }
+    // Parse %[-0][width][conv].
+    std::string Spec = "%";
+    ++I;
+    while (I < Fmt.size() && (Fmt[I] == '-' || Fmt[I] == '0')) {
+      Spec.push_back(Fmt[I]);
+      ++I;
+    }
+    while (I < Fmt.size() && Fmt[I] >= '0' && Fmt[I] <= '9') {
+      Spec.push_back(Fmt[I]);
+      ++I;
+    }
+    if (I >= Fmt.size())
+      break;
+    char Conv = Fmt[I];
+    switch (Conv) {
+    case '%':
+      Out.push_back('%');
+      break;
+    case 'd':
+    case 'u':
+    case 'o':
+    case 'x':
+    case 'c': {
+      Spec.push_back(Conv == 'u' ? 'd' : Conv);
+      long long V = intrinsicArg(ArgIdx++);
+      if (Conv == 'd' || Conv == 'u')
+        Out += format((Spec.insert(Spec.size() - 1, "ll"), Spec).c_str(), V);
+      else
+        Out += format((Spec.insert(Spec.size() - 1, "ll"), Spec).c_str(),
+                      static_cast<unsigned long long>(
+                          static_cast<uint32_t>(V)));
+      break;
+    }
+    case 's': {
+      Spec.push_back('s');
+      std::string S = readCString(static_cast<uint32_t>(intrinsicArg(ArgIdx++)));
+      Out += format(Spec.c_str(), S.c_str());
+      break;
+    }
+    default:
+      Out.push_back(Conv);
+      break;
+    }
+  }
+}
+
+void Machine::doIntrinsic(int Callee) {
+  switch (Callee) {
+  case IntrinsicGetchar:
+    if (InputPos < Options.Input.size())
+      setReg(RegRV,
+             static_cast<unsigned char>(Options.Input[InputPos++]));
+    else
+      setReg(RegRV, -1);
+    break;
+  case IntrinsicPutchar: {
+    int64_t C = intrinsicArg(0);
+    Result.Output.push_back(static_cast<char>(C));
+    setReg(RegRV, C);
+    break;
+  }
+  case IntrinsicPuts: {
+    Result.Output += readCString(static_cast<uint32_t>(intrinsicArg(0)));
+    Result.Output.push_back('\n');
+    setReg(RegRV, 0);
+    break;
+  }
+  case IntrinsicPrintf:
+    doPrintf();
+    setReg(RegRV, 0);
+    break;
+  case IntrinsicExit:
+    Result.ExitCode = static_cast<int32_t>(intrinsicArg(0));
+    Halted = true;
+    break;
+  case IntrinsicStrlen:
+    setReg(RegRV, static_cast<int64_t>(
+                      readCString(static_cast<uint32_t>(intrinsicArg(0)))
+                          .size()));
+    break;
+  case IntrinsicStrcmp: {
+    std::string A = readCString(static_cast<uint32_t>(intrinsicArg(0)));
+    std::string B = readCString(static_cast<uint32_t>(intrinsicArg(1)));
+    setReg(RegRV, A < B ? -1 : A > B ? 1 : 0);
+    break;
+  }
+  case IntrinsicStrcpy: {
+    uint32_t Dst = static_cast<uint32_t>(intrinsicArg(0));
+    std::string S = readCString(static_cast<uint32_t>(intrinsicArg(1)));
+    for (char C : S)
+      store(Dst++, 1, C);
+    store(Dst, 1, 0);
+    setReg(RegRV, intrinsicArg(0));
+    break;
+  }
+  case IntrinsicAbs: {
+    int64_t V = static_cast<int32_t>(intrinsicArg(0));
+    setReg(RegRV, V < 0 ? -V : V);
+    break;
+  }
+  case IntrinsicAtoi: {
+    std::string S = readCString(static_cast<uint32_t>(intrinsicArg(0)));
+    setReg(RegRV, std::atoi(S.c_str()));
+    break;
+  }
+  default:
+    trap(Trap::BadProgram, "unknown intrinsic");
+  }
+}
+
+void Machine::executeDelaySlot(const BasicBlock &B) {
+  if (!B.DelaySlot)
+    return;
+  if (Options.Sink)
+    Options.Sink->fetch(
+        Layout.insnAddr(Func, Block, static_cast<int>(B.Insns.size())));
+  ++Result.Stats.Executed;
+  if (B.DelaySlot->Op == Opcode::Nop)
+    ++Result.Stats.Nops;
+  // Delay-slot RTLs are plain data operations (verified not transfers).
+  const Insn &I = *B.DelaySlot;
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Move:
+    writeResult(I.Dst, eval(I.Src1));
+    break;
+  case Opcode::Lea:
+    writeResult(I.Dst, memAddr(I.Src1));
+    break;
+  case Opcode::Compare:
+    trap(Trap::BadProgram, "compare in delay slot would clobber CC");
+    break;
+  default:
+    execute(I); // binary/unary ALU ops
+    break;
+  }
+}
+
+void Machine::execute(const Insn &I) {
+  switch (I.Op) {
+  case Opcode::Nop:
+    ++Result.Stats.Nops;
+    break;
+  case Opcode::Move:
+    writeResult(I.Dst, eval(I.Src1));
+    break;
+  case Opcode::Lea:
+    writeResult(I.Dst, memAddr(I.Src1));
+    break;
+  case Opcode::Neg:
+    writeResult(I.Dst, -eval(I.Src1));
+    break;
+  case Opcode::Not:
+    writeResult(I.Dst, ~eval(I.Src1));
+    break;
+  case Opcode::Compare:
+    setReg(RegCC, static_cast<int32_t>(eval(I.Src1)) -
+                      static_cast<int64_t>(static_cast<int32_t>(eval(I.Src2))));
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr: {
+    int64_t A = static_cast<int32_t>(eval(I.Src1));
+    int64_t B = static_cast<int32_t>(eval(I.Src2));
+    int64_t R = 0;
+    switch (I.Op) {
+    case Opcode::Add:
+      R = A + B;
+      break;
+    case Opcode::Sub:
+      R = A - B;
+      break;
+    case Opcode::Mul:
+      R = A * B;
+      break;
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (B == 0) {
+        trap(Trap::DivByZero, "division by zero");
+        return;
+      }
+      R = I.Op == Opcode::Div ? A / B : A % B;
+      break;
+    case Opcode::And:
+      R = A & B;
+      break;
+    case Opcode::Or:
+      R = A | B;
+      break;
+    case Opcode::Xor:
+      R = A ^ B;
+      break;
+    case Opcode::Shl:
+      R = static_cast<int64_t>(static_cast<uint32_t>(A)
+                               << (static_cast<uint32_t>(B) & 31));
+      break;
+    case Opcode::Shr:
+      R = static_cast<int32_t>(A) >> (static_cast<uint32_t>(B) & 31);
+      break;
+    default:
+      CODEREP_UNREACHABLE("not an ALU op");
+    }
+    writeResult(I.Dst, R);
+    break;
+  }
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::SwitchJump:
+  case Opcode::Call:
+  case Opcode::Return:
+    CODEREP_UNREACHABLE("transfers handled by the main loop");
+  }
+}
+
+RunResult Machine::run() {
+  // Lay out globals, then initialize them (two passes so relocations can
+  // reference globals laid out later).
+  uint32_t Addr = GlobalBase;
+  for (const Global &G : P.Globals) {
+    Addr = (Addr + 3u) & ~3u;
+    GlobalAddr.push_back(Addr);
+    Addr += static_cast<uint32_t>(G.Size);
+  }
+  if (Addr >= Options.MemBytes / 2) {
+    trap(Trap::OutOfBounds, "globals exceed data memory");
+    return Result;
+  }
+  for (size_t GI = 0; GI < P.Globals.size(); ++GI) {
+    const Global &G = P.Globals[GI];
+    uint32_t Base = GlobalAddr[GI];
+    for (size_t I = 0; I < G.Init.size(); ++I)
+      Mem[Base + I] = G.Init[I];
+    for (auto [Off, Sym] : G.Relocs) {
+      if (Sym < 0 || Sym >= static_cast<int>(GlobalAddr.size())) {
+        trap(Trap::BadProgram, "relocation against unknown global");
+        return Result;
+      }
+      store(Base + static_cast<uint32_t>(Off), 4, GlobalAddr[Sym]);
+    }
+  }
+
+  Func = P.findFunction("main");
+  if (Func < 0) {
+    trap(Trap::BadProgram, "no main function");
+    return Result;
+  }
+  Regs = freshRegs(fn());
+  setReg(RegSP, static_cast<int64_t>(Options.MemBytes) - 16);
+
+  while (!Halted) {
+    if (++Steps > Options.MaxSteps) {
+      trap(Trap::StepLimit, "step limit exceeded");
+      break;
+    }
+    if (Block >= fn().size()) {
+      trap(Trap::BadProgram, "control fell off the end of a function");
+      break;
+    }
+    const BasicBlock &B = *fn().block(Block);
+    if (InsnIdx >= static_cast<int>(B.Insns.size())) {
+      // Fall through to the positionally next block.
+      ++Block;
+      InsnIdx = 0;
+      continue;
+    }
+    const Insn &I = B.Insns[InsnIdx];
+    if (Options.Sink)
+      Options.Sink->fetch(Layout.insnAddr(Func, Block, InsnIdx));
+    ++Result.Stats.Executed;
+
+    switch (I.Op) {
+    case Opcode::Jump:
+      ++Result.Stats.UncondJumps;
+      executeDelaySlot(B);
+      jumpToLabel(I.Target);
+      break;
+    case Opcode::CondJump: {
+      ++Result.Stats.CondBranches;
+      int64_t CC = getReg(RegCC);
+      bool Taken = false;
+      switch (I.Cond) {
+      case CondCode::Eq:
+        Taken = CC == 0;
+        break;
+      case CondCode::Ne:
+        Taken = CC != 0;
+        break;
+      case CondCode::Lt:
+        Taken = CC < 0;
+        break;
+      case CondCode::Le:
+        Taken = CC <= 0;
+        break;
+      case CondCode::Gt:
+        Taken = CC > 0;
+        break;
+      case CondCode::Ge:
+        Taken = CC >= 0;
+        break;
+      }
+      executeDelaySlot(B);
+      if (Taken) {
+        ++Result.Stats.CondTaken;
+        jumpToLabel(I.Target);
+      } else {
+        ++Block;
+        InsnIdx = 0;
+      }
+      break;
+    }
+    case Opcode::SwitchJump: {
+      ++Result.Stats.IndirectJumps;
+      int64_t Index = eval(I.Src1);
+      executeDelaySlot(B);
+      if (Index < 0 || Index >= static_cast<int64_t>(I.Table.size())) {
+        trap(Trap::BadProgram, "switch index out of table range");
+        break;
+      }
+      jumpToLabel(I.Table[static_cast<size_t>(Index)]);
+      break;
+    }
+    case Opcode::Call:
+      if (I.Callee < 0) {
+        doIntrinsic(I.Callee);
+        ++InsnIdx;
+        break;
+      }
+      if (I.Callee >= static_cast<int>(P.Functions.size())) {
+        trap(Trap::BadProgram, "call to unknown function");
+        break;
+      }
+      ++Result.Stats.Calls;
+      {
+        int64_t SavedSP = getReg(RegSP);
+        CallStack.push_back({Func, Block, InsnIdx + 1, std::move(Regs)});
+        Func = I.Callee;
+        Block = 0;
+        InsnIdx = 0;
+        Regs = freshRegs(fn());
+        setReg(RegSP, SavedSP);
+        if (CallStack.size() > 100000)
+          trap(Trap::BadProgram, "call stack overflow");
+      }
+      break;
+    case Opcode::Return: {
+      ++Result.Stats.Returns;
+      executeDelaySlot(B);
+      if (CallStack.empty()) {
+        Result.ExitCode = static_cast<int32_t>(getReg(RegRV));
+        Halted = true;
+        break;
+      }
+      int64_t RV = getReg(RegRV);
+      Frame F = std::move(CallStack.back());
+      CallStack.pop_back();
+      Func = F.Func;
+      Block = F.Block;
+      InsnIdx = F.InsnIdx;
+      Regs = std::move(F.Regs);
+      setReg(RegRV, RV);
+      break;
+    }
+    default:
+      execute(I);
+      ++InsnIdx;
+      break;
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+RunResult ease::run(const Program &P, const RunOptions &Options) {
+  Machine M(P, Options);
+  return M.run();
+}

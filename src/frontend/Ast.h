@@ -1,0 +1,195 @@
+//===- Ast.h - MiniC abstract syntax ----------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. The subset covers what the benchmark programs of the
+/// paper's Table 3 need: int/char scalars, one- and two-dimensional
+/// arrays, pointers (including char** for string tables), the full
+/// expression grammar with short-circuit operators and ?:, and every C
+/// control-flow statement including switch and goto.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_FRONTEND_AST_H
+#define CODEREP_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace coderep::frontend {
+
+/// A MiniC type: base type, pointer depth, optional array dimensions.
+/// "char" denotes a byte only inside arrays and behind pointers; scalar
+/// char variables are stored in a full word like K&R promoted them.
+struct Type {
+  enum class Base { Int, Char, Void };
+  Base B = Base::Int;
+  int PtrDepth = 0;
+  std::vector<int> Dims; ///< array dimensions, outermost first
+
+  bool isArray() const { return !Dims.empty(); }
+  bool isPointer() const { return PtrDepth > 0 && Dims.empty(); }
+  bool isVoid() const { return B == Base::Void && PtrDepth == 0; }
+
+  /// Size in bytes of one element of this type's innermost scalar.
+  int scalarSize() const {
+    return (B == Base::Char && PtrDepth == 0) ? 1 : 4;
+  }
+
+  /// Storage size in bytes of a whole object of this type.
+  int storageSize() const {
+    if (isArray()) {
+      int N = PtrDepth > 0 ? 4 : scalarSize();
+      for (int D : Dims)
+        N *= D;
+      return N;
+    }
+    return 4; // scalars and pointers occupy a word
+  }
+
+  /// The type obtained by indexing or dereferencing once.
+  Type elementType() const {
+    Type T = *this;
+    if (!T.Dims.empty())
+      T.Dims.erase(T.Dims.begin());
+    else if (T.PtrDepth > 0)
+      --T.PtrDepth;
+    return T;
+  }
+
+  /// Byte size of the object elementType() designates (the pointer
+  /// arithmetic scale).
+  int elementSize() const {
+    Type E = elementType();
+    if (E.isArray() || E.isPointer() || E.PtrDepth > 0)
+      return E.storageSize();
+    return E.scalarSize();
+  }
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogAnd,
+  LogOr,
+};
+
+enum class UnaryOp { Neg, BitNot, LogNot, Deref, AddrOf };
+
+/// Expression node.
+struct Expr {
+  enum class Kind {
+    IntLit,
+    StrLit,
+    Var,
+    Unary,
+    Binary,
+    Assign,   ///< A = B, or compound: A op= B when CompoundOp is set
+    Cond,     ///< A ? B : C
+    Call,     ///< Name(Args...)
+    Index,    ///< A[B]
+    IncDec,   ///< ++/-- (Prefix or postfix) applied to A
+  };
+  Kind K;
+  int Line = 0;
+
+  int64_t IntValue = 0;  ///< IntLit
+  std::string Name;      ///< Var/Call name; StrLit bytes
+  UnaryOp UOp{};
+  BinaryOp BOp{};
+  bool HasCompoundOp = false; ///< Assign: A op= B
+  bool IsIncrement = false;   ///< IncDec: ++ vs --
+  bool IsPrefix = false;      ///< IncDec: prefix vs postfix
+  std::unique_ptr<Expr> A, B, C;
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+/// Statement node.
+struct Stmt {
+  enum class Kind {
+    Block,
+    If,       ///< E, S1, S2?
+    While,    ///< E, S1
+    DoWhile,  ///< S1, E
+    For,      ///< E2 (init expr?), E (cond?), E3 (step?), S1
+    Switch,   ///< E, Body, Cases
+    Break,
+    Continue,
+    Return,   ///< E?
+    Goto,     ///< Name
+    Label,    ///< Name
+    ExprStmt, ///< E
+    Decl,     ///< DeclType/DeclName/InitExpr?
+    DeclGroup,///< several Decls from one statement (no new scope)
+    Empty,
+  };
+  Kind K;
+  int Line = 0;
+
+  std::vector<std::unique_ptr<Stmt>> Body; ///< Block and Switch bodies
+  std::unique_ptr<Expr> E, E2, E3;
+  std::unique_ptr<Stmt> S1, S2;
+  std::string Name;
+
+  Type DeclType;
+  std::unique_ptr<Expr> InitExpr;
+
+  struct SwitchCase {
+    int64_t Value = 0;
+    bool IsDefault = false;
+    int BodyIndex = 0; ///< index into Body where this case starts
+  };
+  std::vector<SwitchCase> Cases;
+};
+
+/// A global variable definition.
+struct GlobalDecl {
+  Type T;
+  std::string Name;
+  bool HasInit = false;
+  std::vector<int64_t> IntInit; ///< scalar or {…} initializer values
+  std::string StrInit;          ///< "…" initializer
+  bool IsStrInit = false;
+  std::vector<std::string> StrListInit; ///< {"a","b"} for char* tables
+  bool IsStrListInit = false;
+  int Line = 0;
+};
+
+/// A function definition.
+struct FuncDecl {
+  Type Ret;
+  std::string Name;
+  std::vector<std::pair<Type, std::string>> Params;
+  std::unique_ptr<Stmt> Body; ///< null for a prototype
+  int Line = 0;
+};
+
+/// A whole parsed source file.
+struct TranslationUnit {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace coderep::frontend
+
+#endif // CODEREP_FRONTEND_AST_H

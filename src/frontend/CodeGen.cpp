@@ -1,0 +1,985 @@
+//===- CodeGen.cpp - MiniC to RTL code generation ------------------------------===//
+
+#include "frontend/CodeGen.h"
+
+#include "frontend/Parser.h"
+#include "support/Check.h"
+#include "support/Format.h"
+
+#include <map>
+#include <set>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::frontend;
+using namespace coderep::rtl;
+
+namespace {
+
+/// An expression value: a register or immediate operand plus its type.
+struct Value {
+  Operand Op;
+  Type Ty;
+};
+
+/// An addressable location plus its type.
+struct LValue {
+  Operand Mem; ///< always a memory operand
+  Type Ty;
+};
+
+struct LocalVar {
+  int Offset; ///< FP-relative
+  Type Ty;
+  bool IsParam = false;
+};
+
+struct GlobalVar {
+  int Sym;
+  Type Ty;
+};
+
+class CodeGen {
+public:
+  CodeGen(const TranslationUnit &TU, Program &P, std::string &Error)
+      : TU(TU), P(P), Error(Error) {}
+
+  bool run();
+
+private:
+  const TranslationUnit &TU;
+  Program &P;
+  std::string &Error;
+  bool Failed = false;
+
+  std::map<std::string, GlobalVar> Globals;
+  std::map<std::string, int> FuncIndex;
+  std::map<std::string, const FuncDecl *> FuncSigs;
+  std::map<std::string, int> StringPool;
+
+  // Per-function state.
+  Function *F = nullptr;
+  BasicBlock *Cur = nullptr;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  std::map<std::string, int> UserLabels;
+  std::vector<std::pair<int, int>> LoopStack; ///< (breakLabel, continueLabel)
+  const FuncDecl *CurFunc = nullptr;
+  std::vector<int> ScalarOffsets;  ///< word-sized scalar locals/params
+  std::set<int> EscapedOffsets;    ///< offsets whose address was taken
+
+  void fail(int Line, const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = format("line %d: %s", Line, Msg.c_str());
+    }
+  }
+
+  //===--- emission helpers ----------------------------------------------===//
+
+  void emit(Insn I) { Cur->Insns.push_back(std::move(I)); }
+
+  Operand freshReg() { return Operand::reg(F->freshVReg()); }
+
+  /// Starts a new block carrying \p Label (appended positionally).
+  void startBlock(int Label) { Cur = F->appendBlockWithLabel(Label); }
+  void startBlock() { Cur = F->appendBlock(); }
+
+  /// Forces \p V into a register.
+  Operand toReg(const Operand &O) {
+    if (O.isReg())
+      return O;
+    Operand R = freshReg();
+    emit(Insn::move(R, O));
+    return R;
+  }
+
+  //===--- symbols --------------------------------------------------------===//
+
+  int internString(const std::string &Bytes);
+  const LocalVar *lookupLocal(const std::string &Name) const;
+  int userLabel(const std::string &Name);
+
+  //===--- expression generation -----------------------------------------===//
+
+  Value genExpr(const Expr &E);
+  LValue genLValue(const Expr &E);
+  Value genBinary(const Expr &E);
+  Value genCall(const Expr &E);
+  Value genComparisonValue(const Expr &E);
+  void genBranch(const Expr &E, int TrueLabel, int FalseLabel,
+                 bool FallIsTrue);
+  void genCompareAndBranch(const Expr &E, int TrueLabel, int FalseLabel,
+                           bool FallIsTrue);
+  Value loadLValue(const LValue &LV);
+  void storeLValue(const LValue &LV, Value V);
+
+  /// Emits pointer-scaled addition: Ptr + Idx*scale(PtrTy).
+  Value genPointerAdd(Value Ptr, Value Idx, bool Subtract, int Line);
+
+  //===--- statements ------------------------------------------------------===//
+
+  void genStmt(const Stmt &S);
+  void genSwitch(const Stmt &S);
+  void genReturnEpilogue(Operand Val, bool HasValue);
+
+  void genFunction(const FuncDecl &FD);
+  void genGlobal(const GlobalDecl &G);
+};
+
+//===---- symbols -----------------------------------------------------------===//
+
+int CodeGen::internString(const std::string &Bytes) {
+  auto It = StringPool.find(Bytes);
+  if (It != StringPool.end())
+    return It->second;
+  Global G;
+  G.Name = format("str.%d", static_cast<int>(StringPool.size()));
+  G.Size = static_cast<int>(Bytes.size()) + 1;
+  G.Init.assign(Bytes.begin(), Bytes.end());
+  G.Init.push_back(0);
+  int Sym = P.addGlobal(std::move(G));
+  StringPool[Bytes] = Sym;
+  return Sym;
+}
+
+const LocalVar *CodeGen::lookupLocal(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+int CodeGen::userLabel(const std::string &Name) {
+  auto It = UserLabels.find(Name);
+  if (It != UserLabels.end())
+    return It->second;
+  int L = F->freshLabel();
+  UserLabels[Name] = L;
+  return L;
+}
+
+//===---- lvalues -------------------------------------------------------------===//
+
+LValue CodeGen::genLValue(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::Var: {
+    if (const LocalVar *LV = lookupLocal(E.Name)) {
+      int Size = LV->Ty.isArray() || LV->Ty.isPointer()
+                     ? 4
+                     : 4; // scalars occupy a word (chars promoted)
+      return {Operand::mem(RegFP, LV->Offset, static_cast<uint8_t>(Size)),
+              LV->Ty};
+    }
+    auto GIt = Globals.find(E.Name);
+    if (GIt != Globals.end()) {
+      const GlobalVar &G = GIt->second;
+      uint8_t Size = 4;
+      if (!G.Ty.isArray() && !G.Ty.isPointer() && G.Ty.B == Type::Base::Char)
+        Size = 4; // scalar char promoted to a word
+      return {Operand::mem(-1, 0, Size, -1, 1, G.Sym), G.Ty};
+    }
+    fail(E.Line, format("unknown variable '%s'", E.Name.c_str()));
+    return {Operand::mem(RegFP, 0, 4), Type()};
+  }
+  case Expr::Kind::Index: {
+    Value Base = genExpr(*E.A);
+    if (!Base.Ty.isArray() && !Base.Ty.isPointer()) {
+      fail(E.Line, "indexing a non-array");
+      return {Operand::mem(RegFP, 0, 4), Type()};
+    }
+    Value Idx = genExpr(*E.B);
+    int Scale = Base.Ty.elementSize();
+    Type ElemTy = Base.Ty.elementType();
+    Operand Off = freshReg();
+    emit(Insn::binary(Opcode::Mul, Off, Idx.Op, Operand::imm(Scale)));
+    Operand Addr = freshReg();
+    emit(Insn::binary(Opcode::Add, Addr, toReg(Base.Op), Off));
+    uint8_t Size = static_cast<uint8_t>(ElemTy.scalarSize());
+    if (ElemTy.isArray())
+      Size = 4; // address value; never actually loaded through
+    return {Operand::mem(Addr.Base, 0, Size), ElemTy};
+  }
+  case Expr::Kind::Unary:
+    if (E.UOp == UnaryOp::Deref) {
+      Value Ptr = genExpr(*E.A);
+      if (!Ptr.Ty.isPointer() && !Ptr.Ty.isArray())
+        fail(E.Line, "dereferencing a non-pointer");
+      Type ElemTy = Ptr.Ty.elementType();
+      return {Operand::mem(toReg(Ptr.Op).Base, 0,
+                           static_cast<uint8_t>(ElemTy.scalarSize())),
+              ElemTy};
+    }
+    break;
+  default:
+    break;
+  }
+  fail(E.Line, "expression is not assignable");
+  return {Operand::mem(RegFP, 0, 4), Type()};
+}
+
+Value CodeGen::loadLValue(const LValue &LV) {
+  // Arrays used as values decay to their address.
+  if (LV.Ty.isArray()) {
+    Operand R = freshReg();
+    emit(Insn::lea(R, LV.Mem));
+    return {R, LV.Ty};
+  }
+  Operand R = freshReg();
+  emit(Insn::move(R, LV.Mem));
+  return {R, LV.Ty};
+}
+
+void CodeGen::storeLValue(const LValue &LV, Value V) {
+  emit(Insn::move(LV.Mem, V.Op));
+}
+
+//===---- expressions ---------------------------------------------------------===//
+
+Value CodeGen::genPointerAdd(Value Ptr, Value Idx, bool Subtract, int Line) {
+  (void)Line;
+  int Scale = Ptr.Ty.elementSize();
+  Operand Scaled = Idx.Op;
+  if (Scale != 1) {
+    Operand T = freshReg();
+    emit(Insn::binary(Opcode::Mul, T, Idx.Op, Operand::imm(Scale)));
+    Scaled = T;
+  }
+  Operand R = freshReg();
+  emit(Insn::binary(Subtract ? Opcode::Sub : Opcode::Add, R, toReg(Ptr.Op),
+                    Scaled));
+  return {R, Ptr.Ty};
+}
+
+static bool isComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::LogAnd:
+  case BinaryOp::LogOr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static Opcode opcodeFor(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return Opcode::Add;
+  case BinaryOp::Sub:
+    return Opcode::Sub;
+  case BinaryOp::Mul:
+    return Opcode::Mul;
+  case BinaryOp::Div:
+    return Opcode::Div;
+  case BinaryOp::Rem:
+    return Opcode::Rem;
+  case BinaryOp::And:
+    return Opcode::And;
+  case BinaryOp::Or:
+    return Opcode::Or;
+  case BinaryOp::Xor:
+    return Opcode::Xor;
+  case BinaryOp::Shl:
+    return Opcode::Shl;
+  case BinaryOp::Shr:
+    return Opcode::Shr;
+  default:
+    CODEREP_UNREACHABLE("not an arithmetic operator");
+  }
+}
+
+static CondCode condFor(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return CondCode::Lt;
+  case BinaryOp::Le:
+    return CondCode::Le;
+  case BinaryOp::Gt:
+    return CondCode::Gt;
+  case BinaryOp::Ge:
+    return CondCode::Ge;
+  case BinaryOp::Eq:
+    return CondCode::Eq;
+  case BinaryOp::Ne:
+    return CondCode::Ne;
+  default:
+    CODEREP_UNREACHABLE("not a comparison");
+  }
+}
+
+Value CodeGen::genComparisonValue(const Expr &E) {
+  // t = 1; if cond goto Done(with 1)... generated as the naive front-end
+  // would: branch to a block setting 1, fall to a block setting 0.
+  int TrueL = F->freshLabel();
+  int FalseL = F->freshLabel();
+  int DoneL = F->freshLabel();
+  Operand R = freshReg();
+  genBranch(E, TrueL, FalseL, /*FallIsTrue=*/true);
+  startBlock(TrueL);
+  emit(Insn::move(R, Operand::imm(1)));
+  emit(Insn::jump(DoneL));
+  startBlock(FalseL);
+  emit(Insn::move(R, Operand::imm(0)));
+  startBlock(DoneL);
+  return {R, Type()};
+}
+
+Value CodeGen::genBinary(const Expr &E) {
+  if (isComparison(E.BOp))
+    return genComparisonValue(E);
+
+  Value A = genExpr(*E.A);
+  Value B = genExpr(*E.B);
+
+  // Pointer arithmetic scaling.
+  bool APtr = A.Ty.isPointer() || A.Ty.isArray();
+  bool BPtr = B.Ty.isPointer() || B.Ty.isArray();
+  if (E.BOp == BinaryOp::Add && APtr && !BPtr)
+    return genPointerAdd(A, B, false, E.Line);
+  if (E.BOp == BinaryOp::Add && BPtr && !APtr)
+    return genPointerAdd(B, A, false, E.Line);
+  if (E.BOp == BinaryOp::Sub && APtr && !BPtr)
+    return genPointerAdd(A, B, true, E.Line);
+  if (E.BOp == BinaryOp::Sub && APtr && BPtr) {
+    Operand Diff = freshReg();
+    emit(Insn::binary(Opcode::Sub, Diff, toReg(A.Op), B.Op));
+    int Scale = A.Ty.elementSize();
+    if (Scale != 1) {
+      Operand R = freshReg();
+      emit(Insn::binary(Opcode::Div, R, Diff, Operand::imm(Scale)));
+      return {R, Type()};
+    }
+    return {Diff, Type()};
+  }
+
+  Operand R = freshReg();
+  emit(Insn::binary(opcodeFor(E.BOp), R, toReg(A.Op), B.Op));
+  return {R, Type()};
+}
+
+Value CodeGen::genCall(const Expr &E) {
+  static const std::map<std::string, int> Intrinsics = {
+      {"getchar", IntrinsicGetchar}, {"putchar", IntrinsicPutchar},
+      {"puts", IntrinsicPuts},       {"printf", IntrinsicPrintf},
+      {"exit", IntrinsicExit},       {"strlen", IntrinsicStrlen},
+      {"strcmp", IntrinsicStrcmp},   {"strcpy", IntrinsicStrcpy},
+      {"abs", IntrinsicAbs},         {"atoi", IntrinsicAtoi},
+  };
+
+  int Callee;
+  Type RetTy;
+  auto IIt = Intrinsics.find(E.Name);
+  if (IIt != Intrinsics.end()) {
+    Callee = IIt->second;
+  } else {
+    auto FIt = FuncIndex.find(E.Name);
+    if (FIt == FuncIndex.end()) {
+      fail(E.Line, format("call to unknown function '%s'", E.Name.c_str()));
+      return {Operand::imm(0), Type()};
+    }
+    Callee = FIt->second;
+    RetTy = FuncSigs[E.Name]->Ret;
+  }
+
+  // Evaluate arguments left to right, then push them below SP.
+  std::vector<Operand> Args;
+  for (const auto &Arg : E.Args)
+    Args.push_back(toReg(genExpr(*Arg).Op));
+  int ArgBytes = static_cast<int>(Args.size()) * 4;
+  if (ArgBytes > 0)
+    emit(Insn::binary(Opcode::Sub, Operand::reg(RegSP), Operand::reg(RegSP),
+                      Operand::imm(ArgBytes)));
+  for (size_t I = 0; I < Args.size(); ++I)
+    emit(Insn::move(Operand::mem(RegSP, 4 * static_cast<int>(I), 4),
+                    Args[I]));
+  emit(Insn::call(Callee));
+  if (ArgBytes > 0)
+    emit(Insn::binary(Opcode::Add, Operand::reg(RegSP), Operand::reg(RegSP),
+                      Operand::imm(ArgBytes)));
+  Operand R = freshReg();
+  emit(Insn::move(R, Operand::reg(RegRV)));
+  return {R, RetTy};
+}
+
+Value CodeGen::genExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return {Operand::imm(E.IntValue), Type()};
+  case Expr::Kind::StrLit: {
+    int Sym = internString(E.Name);
+    Operand R = freshReg();
+    emit(Insn::lea(R, Operand::mem(-1, 0, 1, -1, 1, Sym)));
+    Type T;
+    T.B = Type::Base::Char;
+    T.PtrDepth = 1;
+    return {R, T};
+  }
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+    return loadLValue(genLValue(E));
+  case Expr::Kind::Unary:
+    switch (E.UOp) {
+    case UnaryOp::Neg: {
+      Value A = genExpr(*E.A);
+      Operand R = freshReg();
+      emit(Insn::unary(Opcode::Neg, R, toReg(A.Op)));
+      return {R, Type()};
+    }
+    case UnaryOp::BitNot: {
+      Value A = genExpr(*E.A);
+      Operand R = freshReg();
+      emit(Insn::unary(Opcode::Not, R, toReg(A.Op)));
+      return {R, Type()};
+    }
+    case UnaryOp::LogNot:
+      return genComparisonValue(E);
+    case UnaryOp::Deref:
+      return loadLValue(genLValue(E));
+    case UnaryOp::AddrOf: {
+      LValue LV = genLValue(*E.A);
+      // The variable's home slot escapes: it can no longer live in a
+      // register.
+      if (LV.Mem.Base == RegFP && LV.Mem.Index < 0 && LV.Mem.Sym < 0)
+        EscapedOffsets.insert(static_cast<int>(LV.Mem.Disp));
+      Operand R = freshReg();
+      emit(Insn::lea(R, LV.Mem));
+      Type T = LV.Ty;
+      ++T.PtrDepth;
+      return {R, T};
+    }
+    }
+    CODEREP_UNREACHABLE("bad unary op");
+  case Expr::Kind::Binary:
+    return genBinary(E);
+  case Expr::Kind::Assign: {
+    LValue LV = genLValue(*E.A);
+    Value V = genExpr(*E.B);
+    if (E.HasCompoundOp) {
+      // Pointer-compound (p += n) needs scaling.
+      Operand Old = freshReg();
+      emit(Insn::move(Old, LV.Mem));
+      if ((E.BOp == BinaryOp::Add || E.BOp == BinaryOp::Sub) &&
+          LV.Ty.isPointer()) {
+        Value NewV = genPointerAdd({Old, LV.Ty}, V,
+                                   E.BOp == BinaryOp::Sub, E.Line);
+        storeLValue(LV, NewV);
+        return {NewV.Op, LV.Ty};
+      }
+      Operand R = freshReg();
+      emit(Insn::binary(opcodeFor(E.BOp), R, Old, V.Op));
+      storeLValue(LV, {R, LV.Ty});
+      return {R, LV.Ty};
+    }
+    Value Stored{toReg(V.Op), LV.Ty};
+    storeLValue(LV, Stored);
+    return Stored;
+  }
+  case Expr::Kind::Cond: {
+    int TrueL = F->freshLabel();
+    int FalseL = F->freshLabel();
+    int DoneL = F->freshLabel();
+    Operand R = freshReg();
+    genBranch(*E.A, TrueL, FalseL, /*FallIsTrue=*/true);
+    startBlock(TrueL);
+    Value TV = genExpr(*E.B);
+    emit(Insn::move(R, TV.Op));
+    emit(Insn::jump(DoneL));
+    startBlock(FalseL);
+    Value FV = genExpr(*E.C);
+    emit(Insn::move(R, FV.Op));
+    startBlock(DoneL);
+    return {R, TV.Ty};
+  }
+  case Expr::Kind::Call:
+    return genCall(E);
+  case Expr::Kind::IncDec: {
+    LValue LV = genLValue(*E.A);
+    Operand Old = freshReg();
+    emit(Insn::move(Old, LV.Mem));
+    int Step = LV.Ty.isPointer() ? LV.Ty.elementSize() : 1;
+    Operand New = freshReg();
+    emit(Insn::binary(E.IsIncrement ? Opcode::Add : Opcode::Sub, New, Old,
+                      Operand::imm(Step)));
+    emit(Insn::move(LV.Mem, New));
+    return {E.IsPrefix ? New : Old, LV.Ty};
+  }
+  }
+  CODEREP_UNREACHABLE("bad expression kind");
+}
+
+//===---- conditions ----------------------------------------------------------===//
+
+void CodeGen::genCompareAndBranch(const Expr &E, int TrueLabel,
+                                  int FalseLabel, bool FallIsTrue) {
+  // Emits compare + one conditional branch; control falls through to the
+  // label designated by FallIsTrue (the caller starts that block next).
+  CondCode CC;
+  Operand A, B;
+  if (E.K == Expr::Kind::Binary && isComparison(E.BOp) &&
+      E.BOp != BinaryOp::LogAnd && E.BOp != BinaryOp::LogOr) {
+    Value VA = genExpr(*E.A);
+    Value VB = genExpr(*E.B);
+    A = toReg(VA.Op);
+    B = VB.Op;
+    CC = condFor(E.BOp);
+  } else {
+    Value V = genExpr(E);
+    A = toReg(V.Op);
+    B = Operand::imm(0);
+    CC = CondCode::Ne;
+  }
+  emit(Insn::compare(A, B));
+  if (FallIsTrue)
+    emit(Insn::condJump(negate(CC), FalseLabel));
+  else
+    emit(Insn::condJump(CC, TrueLabel));
+}
+
+void CodeGen::genBranch(const Expr &E, int TrueLabel, int FalseLabel,
+                        bool FallIsTrue) {
+  // Short-circuit forms first.
+  if (E.K == Expr::Kind::Binary && E.BOp == BinaryOp::LogAnd) {
+    int Mid = F->freshLabel();
+    genBranch(*E.A, Mid, FalseLabel, /*FallIsTrue=*/true);
+    startBlock(Mid);
+    genBranch(*E.B, TrueLabel, FalseLabel, FallIsTrue);
+    return;
+  }
+  if (E.K == Expr::Kind::Binary && E.BOp == BinaryOp::LogOr) {
+    int Mid = F->freshLabel();
+    genBranch(*E.A, TrueLabel, Mid, /*FallIsTrue=*/false);
+    startBlock(Mid);
+    genBranch(*E.B, TrueLabel, FalseLabel, FallIsTrue);
+    return;
+  }
+  if (E.K == Expr::Kind::Unary && E.UOp == UnaryOp::LogNot) {
+    genBranch(*E.A, FalseLabel, TrueLabel, !FallIsTrue);
+    return;
+  }
+  if (E.K == Expr::Kind::IntLit) {
+    bool True = E.IntValue != 0;
+    if ((True && !FallIsTrue) || (!True && FallIsTrue))
+      emit(Insn::jump(True ? TrueLabel : FalseLabel));
+    return;
+  }
+  genCompareAndBranch(E, TrueLabel, FalseLabel, FallIsTrue);
+}
+
+//===---- statements ----------------------------------------------------------===//
+
+void CodeGen::genReturnEpilogue(Operand Val, bool HasValue) {
+  if (HasValue)
+    emit(Insn::move(Operand::reg(RegRV), Val));
+  // "restore old frame pointer; return from subroutine" (Table 2).
+  emit(Insn::move(Operand::reg(RegSP), Operand::reg(RegFP)));
+  emit(Insn::ret());
+  startBlock(); // unreachable unless a label follows
+}
+
+void CodeGen::genStmt(const Stmt &S) {
+  if (Failed)
+    return;
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    Scopes.push_back({});
+    for (const auto &Sub : S.Body)
+      genStmt(*Sub);
+    Scopes.pop_back();
+    return;
+
+  case Stmt::Kind::DeclGroup:
+    for (const auto &Sub : S.Body)
+      genStmt(*Sub);
+    return;
+
+  case Stmt::Kind::Decl: {
+    int Bytes = (S.DeclType.storageSize() + 3) & ~3;
+    F->FrameBytes += Bytes;
+    LocalVar LV{-F->FrameBytes, S.DeclType, false};
+    if (!S.DeclType.isArray())
+      ScalarOffsets.push_back(LV.Offset);
+    Scopes.back()[S.Name] = LV;
+    if (S.InitExpr) {
+      Value V = genExpr(*S.InitExpr);
+      emit(Insn::move(Operand::mem(RegFP, LV.Offset, 4), toReg(V.Op)));
+    }
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    int ThenL = F->freshLabel();
+    int ElseL = F->freshLabel();
+    genBranch(*S.E, ThenL, ElseL, /*FallIsTrue=*/true);
+    startBlock(ThenL);
+    genStmt(*S.S1);
+    if (S.S2) {
+      int EndL = F->freshLabel();
+      emit(Insn::jump(EndL)); // the jump over the else part (Table 2)
+      startBlock(ElseL);
+      genStmt(*S.S2);
+      startBlock(EndL);
+    } else {
+      startBlock(ElseL);
+    }
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    // H: if (!cond) goto E;  body;  goto H;  E:
+    int HeadL = F->freshLabel();
+    int BodyL = F->freshLabel();
+    int ExitL = F->freshLabel();
+    startBlock(HeadL);
+    genBranch(*S.E, BodyL, ExitL, /*FallIsTrue=*/true);
+    startBlock(BodyL);
+    LoopStack.push_back({ExitL, HeadL});
+    genStmt(*S.S1);
+    LoopStack.pop_back();
+    emit(Insn::jump(HeadL)); // the jump LOOPS/JUMPS remove
+    startBlock(ExitL);
+    return;
+  }
+
+  case Stmt::Kind::DoWhile: {
+    int BodyL = F->freshLabel();
+    int CondL = F->freshLabel();
+    int ExitL = F->freshLabel();
+    startBlock(BodyL);
+    LoopStack.push_back({ExitL, CondL});
+    genStmt(*S.S1);
+    LoopStack.pop_back();
+    startBlock(CondL);
+    genBranch(*S.E, BodyL, ExitL, /*FallIsTrue=*/false);
+    startBlock(ExitL);
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    // init; goto T;  B: body; step;  T: if (cond) goto B;  E:
+    if (S.E2)
+      genExpr(*S.E2);
+    int BodyL = F->freshLabel();
+    int TestL = F->freshLabel();
+    int StepL = F->freshLabel();
+    int ExitL = F->freshLabel();
+    emit(Insn::jump(TestL)); // the entry jump LOOPS/JUMPS remove
+    startBlock(BodyL);
+    LoopStack.push_back({ExitL, StepL});
+    genStmt(*S.S1);
+    LoopStack.pop_back();
+    startBlock(StepL);
+    if (S.E3)
+      genExpr(*S.E3);
+    startBlock(TestL);
+    if (S.E)
+      genBranch(*S.E, BodyL, ExitL, /*FallIsTrue=*/false);
+    else
+      emit(Insn::jump(BodyL));
+    startBlock(ExitL);
+    return;
+  }
+
+  case Stmt::Kind::Switch:
+    genSwitch(S);
+    return;
+
+  case Stmt::Kind::Break:
+    if (LoopStack.empty() || LoopStack.back().first < 0)
+      fail(S.Line, "break outside a loop or switch");
+    else
+      emit(Insn::jump(LoopStack.back().first));
+    startBlock();
+    return;
+
+  case Stmt::Kind::Continue: {
+    bool Done = false;
+    for (auto It = LoopStack.rbegin(); It != LoopStack.rend(); ++It)
+      if (It->second >= 0) {
+        emit(Insn::jump(It->second));
+        Done = true;
+        break;
+      }
+    if (!Done)
+      fail(S.Line, "continue outside a loop");
+    startBlock();
+    return;
+  }
+
+  case Stmt::Kind::Return:
+    if (S.E) {
+      Value V = genExpr(*S.E);
+      genReturnEpilogue(toReg(V.Op), true);
+    } else {
+      genReturnEpilogue(Operand(), false);
+    }
+    return;
+
+  case Stmt::Kind::Goto:
+    emit(Insn::jump(userLabel(S.Name)));
+    startBlock();
+    return;
+
+  case Stmt::Kind::Label:
+    startBlock(userLabel(S.Name));
+    return;
+
+  case Stmt::Kind::ExprStmt:
+    genExpr(*S.E);
+    return;
+
+  case Stmt::Kind::Empty:
+    return;
+  }
+  CODEREP_UNREACHABLE("bad statement kind");
+}
+
+void CodeGen::genSwitch(const Stmt &S) {
+  Value V = genExpr(*S.E);
+  Operand Scrut = toReg(V.Op);
+  int ExitL = F->freshLabel();
+  int DefaultL = ExitL;
+
+  // Allocate a label for every case position.
+  std::map<int, int> LabelAtBodyIndex; // body index -> label
+  std::vector<std::pair<int64_t, int>> CaseTargets; // value -> label
+  for (const auto &C : S.Cases) {
+    auto [It, New] = LabelAtBodyIndex.try_emplace(C.BodyIndex, -1);
+    if (New)
+      It->second = F->freshLabel();
+    if (C.IsDefault)
+      DefaultL = It->second;
+    else
+      CaseTargets.push_back({C.Value, It->second});
+  }
+
+  // Decide dispatch shape: a dense value range uses a jump table (the
+  // indirect jumps the paper excludes from replication), sparse/small sets
+  // use a compare chain.
+  bool UseTable = false;
+  int64_t Min = 0, Max = 0;
+  if (CaseTargets.size() >= 5) {
+    Min = Max = CaseTargets[0].first;
+    for (auto &[Value, Label] : CaseTargets) {
+      Min = std::min(Min, Value);
+      Max = std::max(Max, Value);
+    }
+    int64_t Range = Max - Min + 1;
+    if (Range <= 3 * static_cast<int64_t>(CaseTargets.size()) &&
+        Range <= 512)
+      UseTable = true;
+  }
+
+  if (UseTable) {
+    Operand Idx = freshReg();
+    emit(Insn::binary(Opcode::Sub, Idx, Scrut, Operand::imm(Min)));
+    emit(Insn::compare(Idx, Operand::imm(0)));
+    emit(Insn::condJump(CondCode::Lt, DefaultL));
+    startBlock();
+    emit(Insn::compare(Idx, Operand::imm(Max - Min)));
+    emit(Insn::condJump(CondCode::Gt, DefaultL));
+    startBlock();
+    std::vector<int> Table(static_cast<size_t>(Max - Min + 1), DefaultL);
+    for (auto &[Value, Label] : CaseTargets)
+      Table[static_cast<size_t>(Value - Min)] = Label;
+    emit(Insn::switchJump(Idx, std::move(Table)));
+  } else {
+    for (auto &[Value, Label] : CaseTargets) {
+      emit(Insn::compare(Scrut, Operand::imm(Value)));
+      emit(Insn::condJump(CondCode::Eq, Label));
+      startBlock();
+    }
+    emit(Insn::jump(DefaultL));
+  }
+
+  // Body with break routed to ExitL (continue stays with enclosing loop).
+  LoopStack.push_back({ExitL, -1});
+  Scopes.push_back({});
+  for (size_t I = 0; I < S.Body.size(); ++I) {
+    auto LIt = LabelAtBodyIndex.find(static_cast<int>(I));
+    if (LIt != LabelAtBodyIndex.end())
+      startBlock(LIt->second);
+    genStmt(*S.Body[I]);
+  }
+  // A trailing case label with no statements.
+  auto LIt = LabelAtBodyIndex.find(static_cast<int>(S.Body.size()));
+  if (LIt != LabelAtBodyIndex.end())
+    startBlock(LIt->second);
+  Scopes.pop_back();
+  LoopStack.pop_back();
+  startBlock(ExitL);
+}
+
+//===---- functions and globals ----------------------------------------------===//
+
+void CodeGen::genFunction(const FuncDecl &FD) {
+  F = P.Functions[FuncIndex[FD.Name]].get();
+  CurFunc = &FD;
+  Scopes.clear();
+  Scopes.push_back({});
+  UserLabels.clear();
+  LoopStack.clear();
+  ScalarOffsets.clear();
+  EscapedOffsets.clear();
+
+  // Parameters: arg i at FP + 4*i (FP = SP at entry; the caller stored the
+  // arguments at its SP).
+  for (size_t I = 0; I < FD.Params.size(); ++I) {
+    LocalVar LV{static_cast<int>(4 * I), FD.Params[I].first, true};
+    ScalarOffsets.push_back(LV.Offset);
+    Scopes.back()[FD.Params[I].second] = LV;
+  }
+  F->ParamBytes = static_cast<int>(4 * FD.Params.size());
+
+  Cur = F->appendBlock();
+  // Prologue; the frame size is patched below once the body is generated.
+  emit(Insn::move(Operand::reg(RegFP), Operand::reg(RegSP)));
+  emit(Insn::binary(Opcode::Sub, Operand::reg(RegSP), Operand::reg(RegSP),
+                    Operand::imm(0)));
+
+  genStmt(*FD.Body);
+
+  // Implicit return (value 0) when control can fall off the end.
+  if (!Cur->endsWithUnconditionalTransfer())
+    genReturnEpilogue(Operand::imm(0), true);
+  // Drop a trailing empty unreachable block left by startBlock().
+  while (F->size() > 1 && F->block(F->size() - 1)->Insns.empty()) {
+    bool Referenced = false;
+    int Label = F->block(F->size() - 1)->Label;
+    for (int B = 0; B < F->size() && !Referenced; ++B)
+      for (const Insn &I : F->block(B)->Insns) {
+        if ((I.Op == Opcode::Jump || I.Op == Opcode::CondJump) &&
+            I.Target == Label)
+          Referenced = true;
+        if (I.Op == Opcode::SwitchJump)
+          for (int L : I.Table)
+            if (L == Label)
+              Referenced = true;
+      }
+    if (Referenced) {
+      // Someone jumps to an empty trailing block: give it a return.
+      Cur = F->block(F->size() - 1);
+      genReturnEpilogue(Operand::imm(0), true);
+      // genReturnEpilogue appended a fresh empty block; loop again.
+      continue;
+    }
+    F->eraseBlock(F->size() - 1);
+  }
+
+  // Record which variables may live in registers.
+  for (int Off : ScalarOffsets)
+    if (!EscapedOffsets.count(Off))
+      F->PromotableLocals.push_back(Off);
+
+  // Patch the prologue frame size.
+  BasicBlock *Entry = F->block(0);
+  CODEREP_CHECK(Entry->Insns.size() >= 2 &&
+                    Entry->Insns[1].Op == Opcode::Sub,
+                "prologue shape changed");
+  Entry->Insns[1].Src2 = Operand::imm(F->FrameBytes);
+
+  if (!Failed)
+    F->verify();
+}
+
+void CodeGen::genGlobal(const GlobalDecl &GD) {
+  Global G;
+  G.Name = GD.Name;
+  Type T = GD.T;
+
+  if (GD.HasInit && GD.IsStrInit) {
+    // char s[] = "..." or char *s = "...".
+    if (T.isArray()) {
+      if (T.Dims[0] == 0)
+        T.Dims[0] = static_cast<int>(GD.StrInit.size()) + 1;
+      G.Init.assign(GD.StrInit.begin(), GD.StrInit.end());
+      G.Init.push_back(0);
+    } else {
+      int Sym = internString(GD.StrInit);
+      G.Init.assign(4, 0);
+      G.Relocs.push_back({0, Sym});
+    }
+  } else if (GD.HasInit && GD.IsStrListInit) {
+    // char *t[] = {"a", "b", ...}.
+    if (T.isArray() && T.Dims[0] == 0)
+      T.Dims[0] = static_cast<int>(GD.StrListInit.size());
+    G.Init.assign(static_cast<size_t>(T.Dims.empty() ? 1 : T.Dims[0]) * 4, 0);
+    for (size_t I = 0; I < GD.StrListInit.size(); ++I)
+      G.Relocs.push_back(
+          {static_cast<int>(4 * I), internString(GD.StrListInit[I])});
+  } else if (GD.HasInit) {
+    if (T.isArray() && T.Dims[0] == 0)
+      T.Dims[0] = static_cast<int>(GD.IntInit.size());
+    int Elem = T.isArray() && T.PtrDepth == 0 ? T.scalarSize() : 4;
+    for (int64_t V : GD.IntInit) {
+      if (Elem == 1) {
+        G.Init.push_back(static_cast<uint8_t>(V));
+      } else {
+        uint32_t U = static_cast<uint32_t>(V);
+        for (int B = 0; B < 4; ++B)
+          G.Init.push_back(static_cast<uint8_t>(U >> (8 * B)));
+      }
+    }
+  }
+  // Scalar char globals are stored as a full word, like scalar locals.
+  G.Size = T.storageSize();
+  if (!T.isArray() && !T.isPointer() && T.B == Type::Base::Char)
+    G.Size = 4;
+  if (static_cast<int>(G.Init.size()) > G.Size)
+    G.Size = static_cast<int>(G.Init.size());
+  int Sym = P.addGlobal(std::move(G));
+  Globals[GD.Name] = {Sym, T};
+}
+
+bool CodeGen::run() {
+  // Pass 1: globals, then function indices (so calls resolve forward).
+  for (const GlobalDecl &G : TU.Globals)
+    genGlobal(G);
+  for (const FuncDecl &FD : TU.Funcs) {
+    if (FuncIndex.count(FD.Name)) {
+      if (FD.Body && !FuncSigs[FD.Name]->Body)
+        FuncSigs[FD.Name] = &FD; // definition after prototype
+      continue;
+    }
+    FuncIndex[FD.Name] = static_cast<int>(P.Functions.size());
+    FuncSigs[FD.Name] = &FD;
+    P.Functions.push_back(std::make_unique<Function>(FD.Name));
+  }
+  // Pass 2: bodies.
+  for (auto &[Name, FD] : FuncSigs) {
+    if (!FD->Body) {
+      fail(FD->Line, format("function '%s' has no definition", Name.c_str()));
+      return false;
+    }
+    genFunction(*FD);
+    if (Failed)
+      return false;
+  }
+  if (P.findFunction("main") < 0) {
+    Failed = true;
+    Error = "program has no main function";
+  }
+  return !Failed;
+}
+
+} // namespace
+
+bool frontend::generate(const TranslationUnit &TU, Program &Out,
+                        std::string &Error) {
+  CodeGen CG(TU, Out, Error);
+  return CG.run();
+}
+
+bool frontend::compileToRtl(const std::string &Source, Program &Out,
+                            std::string &Error) {
+  TranslationUnit TU;
+  if (!parse(Source, TU, Error))
+    return false;
+  return generate(TU, Out, Error);
+}

@@ -1,0 +1,41 @@
+//===- CodeGen.h - MiniC to RTL code generation -----------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the MiniC AST to naive RTLs, reproducing the code shapes the
+/// paper attributes to the VPCC front-end: while loops with the test at
+/// the top and an unconditional jump at the bottom, for loops with an
+/// unconditional jump to a test placed at the loop end, if-then-else with a
+/// jump over the else part, and explicit jump-producing translations of
+/// &&, ||, ?: and switch. Named variables live in memory (FP-relative or
+/// global); only expression temporaries use virtual registers - the
+/// standard optimizations then promote them, as VPO did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_FRONTEND_CODEGEN_H
+#define CODEREP_FRONTEND_CODEGEN_H
+
+#include "cfg/Function.h"
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace coderep::frontend {
+
+/// Generates a Program from a parsed translation unit. Returns false and
+/// sets \p Error on a semantic error (unknown name, bad call, ...).
+bool generate(const TranslationUnit &TU, cfg::Program &Out,
+              std::string &Error);
+
+/// Convenience: parse + generate.
+bool compileToRtl(const std::string &Source, cfg::Program &Out,
+                  std::string &Error);
+
+} // namespace coderep::frontend
+
+#endif // CODEREP_FRONTEND_CODEGEN_H

@@ -1,0 +1,301 @@
+//===- Lexer.cpp - MiniC lexical analysis --------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <map>
+
+using namespace coderep;
+using namespace coderep::frontend;
+
+static const std::map<std::string, TokKind> &keywords() {
+  static const std::map<std::string, TokKind> Map = {
+      {"int", TokKind::KwInt},         {"char", TokKind::KwChar},
+      {"void", TokKind::KwVoid},       {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"do", TokKind::KwDo},
+      {"switch", TokKind::KwSwitch},   {"case", TokKind::KwCase},
+      {"default", TokKind::KwDefault}, {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+      {"goto", TokKind::KwGoto},
+  };
+  return Map;
+}
+
+namespace {
+
+class Lexer {
+public:
+  Lexer(const std::string &Source) : Src(Source) {}
+
+  bool run(std::vector<Token> &Out, std::string &Error);
+
+private:
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+
+  char peek(int Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char take() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    take();
+    return true;
+  }
+
+  bool lexEscape(char &Out, std::string &Error);
+};
+
+bool Lexer::lexEscape(char &Out, std::string &Error) {
+  char C = take();
+  switch (C) {
+  case 'n':
+    Out = '\n';
+    return true;
+  case 't':
+    Out = '\t';
+    return true;
+  case 'r':
+    Out = '\r';
+    return true;
+  case '0':
+    Out = '\0';
+    return true;
+  case '\\':
+  case '\'':
+  case '"':
+    Out = C;
+    return true;
+  default:
+    Error = format("line %d: unknown escape '\\%c'", Line, C);
+    return false;
+  }
+}
+
+bool Lexer::run(std::vector<Token> &Out, std::string &Error) {
+  while (true) {
+    // Skip whitespace and comments.
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        take();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          take();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        take();
+        take();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          take();
+        if (!peek()) {
+          Error = format("line %d: unterminated comment", Line);
+          return false;
+        }
+        take();
+        take();
+        continue;
+      }
+      break;
+    }
+
+    Token T;
+    T.Line = Line;
+    char C = peek();
+    if (!C) {
+      T.Kind = TokKind::End;
+      Out.push_back(T);
+      return true;
+    }
+
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        Word.push_back(take());
+      auto It = keywords().find(Word);
+      if (It != keywords().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokKind::Ident;
+        T.Text = Word;
+      }
+      Out.push_back(T);
+      continue;
+    }
+
+    if (isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = 0;
+      if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        take();
+        take();
+        while (isxdigit(static_cast<unsigned char>(peek()))) {
+          char D = take();
+          Value = Value * 16 +
+                  (isdigit(static_cast<unsigned char>(D))
+                       ? D - '0'
+                       : (tolower(D) - 'a') + 10);
+        }
+      } else {
+        while (isdigit(static_cast<unsigned char>(peek())))
+          Value = Value * 10 + (take() - '0');
+      }
+      T.Kind = TokKind::IntLit;
+      T.IntValue = Value;
+      Out.push_back(T);
+      continue;
+    }
+
+    if (C == '\'') {
+      take();
+      char V = take();
+      if (V == '\\' && !lexEscape(V, Error))
+        return false;
+      if (!match('\'')) {
+        Error = format("line %d: unterminated character literal", Line);
+        return false;
+      }
+      T.Kind = TokKind::IntLit;
+      T.IntValue = static_cast<unsigned char>(V);
+      Out.push_back(T);
+      continue;
+    }
+
+    if (C == '"') {
+      take();
+      std::string S;
+      while (peek() && peek() != '"') {
+        char V = take();
+        if (V == '\\' && !lexEscape(V, Error))
+          return false;
+        S.push_back(V);
+      }
+      if (!match('"')) {
+        Error = format("line %d: unterminated string literal", Line);
+        return false;
+      }
+      T.Kind = TokKind::StrLit;
+      T.Text = std::move(S);
+      Out.push_back(T);
+      continue;
+    }
+
+    take();
+    auto two = [&](char Next, TokKind K2, TokKind K1) {
+      T.Kind = match(Next) ? K2 : K1;
+    };
+    switch (C) {
+    case '(':
+      T.Kind = TokKind::LParen;
+      break;
+    case ')':
+      T.Kind = TokKind::RParen;
+      break;
+    case '{':
+      T.Kind = TokKind::LBrace;
+      break;
+    case '}':
+      T.Kind = TokKind::RBrace;
+      break;
+    case '[':
+      T.Kind = TokKind::LBracket;
+      break;
+    case ']':
+      T.Kind = TokKind::RBracket;
+      break;
+    case ';':
+      T.Kind = TokKind::Semi;
+      break;
+    case ',':
+      T.Kind = TokKind::Comma;
+      break;
+    case ':':
+      T.Kind = TokKind::Colon;
+      break;
+    case '?':
+      T.Kind = TokKind::Question;
+      break;
+    case '~':
+      T.Kind = TokKind::Tilde;
+      break;
+    case '+':
+      if (match('+'))
+        T.Kind = TokKind::PlusPlus;
+      else
+        two('=', TokKind::PlusEq, TokKind::Plus);
+      break;
+    case '-':
+      if (match('-'))
+        T.Kind = TokKind::MinusMinus;
+      else
+        two('=', TokKind::MinusEq, TokKind::Minus);
+      break;
+    case '*':
+      two('=', TokKind::StarEq, TokKind::Star);
+      break;
+    case '/':
+      two('=', TokKind::SlashEq, TokKind::Slash);
+      break;
+    case '%':
+      two('=', TokKind::PercentEq, TokKind::Percent);
+      break;
+    case '&':
+      if (match('&'))
+        T.Kind = TokKind::AmpAmp;
+      else
+        two('=', TokKind::AmpEq, TokKind::Amp);
+      break;
+    case '|':
+      if (match('|'))
+        T.Kind = TokKind::PipePipe;
+      else
+        two('=', TokKind::PipeEq, TokKind::Pipe);
+      break;
+    case '^':
+      two('=', TokKind::CaretEq, TokKind::Caret);
+      break;
+    case '!':
+      two('=', TokKind::NotEq, TokKind::Not);
+      break;
+    case '=':
+      two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '<':
+      if (match('<'))
+        two('=', TokKind::ShlEq, TokKind::Shl);
+      else
+        two('=', TokKind::LessEq, TokKind::Less);
+      break;
+    case '>':
+      if (match('>'))
+        two('=', TokKind::ShrEq, TokKind::Shr);
+      else
+        two('=', TokKind::GreaterEq, TokKind::Greater);
+      break;
+    default:
+      Error = format("line %d: unexpected character '%c'", Line, C);
+      return false;
+    }
+    Out.push_back(T);
+  }
+}
+
+} // namespace
+
+bool frontend::tokenize(const std::string &Source, std::vector<Token> &Out,
+                        std::string &Error) {
+  Lexer L(Source);
+  return L.run(Out, Error);
+}

@@ -1,0 +1,108 @@
+//===- Lexer.h - MiniC lexical analysis -------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset our VPCC stand-in compiles. Supports
+/// the full C operator set, int/char/string literals, and // and /* */
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_FRONTEND_LEXER_H
+#define CODEREP_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coderep::frontend {
+
+/// Token kinds. Single-character punctuation uses its character value.
+enum class TokKind {
+  End,
+  Ident,
+  IntLit,
+  StrLit,
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwGoto,
+  // Multi-character operators.
+  AmpAmp,
+  PipePipe,
+  EqEq,
+  NotEq,
+  LessEq,
+  GreaterEq,
+  Shl,
+  Shr,
+  PlusPlus,
+  MinusMinus,
+  PlusEq,
+  MinusEq,
+  StarEq,
+  SlashEq,
+  PercentEq,
+  AmpEq,
+  PipeEq,
+  CaretEq,
+  ShlEq,
+  ShrEq,
+  // Single-character tokens.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Question,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Not,
+  Less,
+  Greater,
+  Assign,
+};
+
+/// One token.
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;   ///< identifier spelling or string literal bytes
+  int64_t IntValue = 0;
+  int Line = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and sets
+/// \p Error.
+bool tokenize(const std::string &Source, std::vector<Token> &Out,
+              std::string &Error);
+
+} // namespace coderep::frontend
+
+#endif // CODEREP_FRONTEND_LEXER_H

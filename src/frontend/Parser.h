@@ -1,0 +1,29 @@
+//===- Parser.h - MiniC recursive-descent parser ----------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses MiniC token streams into the AST of Ast.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_FRONTEND_PARSER_H
+#define CODEREP_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace coderep::frontend {
+
+/// Parses \p Source into \p Out. Returns false and sets \p Error on the
+/// first syntax error.
+bool parse(const std::string &Source, TranslationUnit &Out,
+           std::string &Error);
+
+} // namespace coderep::frontend
+
+#endif // CODEREP_FRONTEND_PARSER_H

@@ -1,0 +1,202 @@
+//===- CodeMotion.cpp - Loop-invariant code motion -----------------------------===//
+//
+// Hoists loop-invariant RTLs into loop preheaders, creating the preheader
+// blocks on demand. Preheader placement interacts with replication exactly
+// as §3.3.3 describes: a preheader naturally lands after the conditional
+// branch that skips the loop, so when the branch is taken the preheader is
+// not executed; and when creating a preheader forces an explicit jump
+// (because an in-loop block fell through into the header), that jump is
+// grist for the next replication round of Figure 3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgAnalysis.h"
+#include "opt/Liveness.h"
+#include "opt/Pass.h"
+#include "support/Check.h"
+
+#include <map>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::opt;
+using namespace coderep::rtl;
+
+namespace {
+
+/// Retargets every explicit branch to \p OldLabel (outside the index set
+/// \p Skip) to \p NewLabel.
+void retargetBranches(Function &F, int OldLabel, int NewLabel,
+                      const NaturalLoop &Loop, int SkipIdx) {
+  for (int B = 0; B < F.size(); ++B) {
+    if (B == SkipIdx || Loop.contains(B))
+      continue;
+    Insn *T = F.block(B)->terminator();
+    if (!T)
+      continue;
+    if ((T->Op == Opcode::Jump || T->Op == Opcode::CondJump) &&
+        T->Target == OldLabel)
+      T->Target = NewLabel;
+    if (T->Op == Opcode::SwitchJump)
+      for (int &L : T->Table)
+        if (L == OldLabel)
+          L = NewLabel;
+  }
+}
+
+/// Returns the index of a usable preheader for \p Loop, or -1. A usable
+/// preheader is the positionally preceding block when it is outside the
+/// loop and its only successor is the header.
+int findPreheader(Function &F, const NaturalLoop &Loop) {
+  int H = Loop.Header;
+  if (H == 0)
+    return -1;
+  int P = H - 1;
+  if (Loop.contains(P))
+    return -1;
+  std::vector<int> Succs = F.successors(P);
+  if (Succs.size() != 1 || Succs[0] != H)
+    return -1;
+  // Every other predecessor of the header must be inside the loop (back
+  // edges); otherwise hoisted code would not dominate the loop.
+  std::vector<std::vector<int>> Preds = F.predecessors();
+  for (int Q : Preds[H])
+    if (Q != P && !Loop.contains(Q))
+      return -1;
+  return P;
+}
+
+/// Creates a preheader for \p Loop. Invalidates all analyses and block
+/// indices; the caller must restart.
+void createPreheader(Function &F, const NaturalLoop &Loop) {
+  int H = Loop.Header;
+  int HLabel = F.block(H)->Label;
+  // An in-loop block falling through into the header must jump explicitly
+  // so the preheader can be wedged in between.
+  if (H > 0 && Loop.contains(H - 1) &&
+      !F.block(H - 1)->endsWithUnconditionalTransfer()) {
+    BasicBlock *Pred = F.block(H - 1);
+    if (!Pred->terminator()) {
+      Pred->Insns.push_back(Insn::jump(HLabel));
+    } else {
+      // Conditional fall-through: split with a stub jump block.
+      F.insertBlock(H);
+      F.block(H)->Insns.push_back(Insn::jump(HLabel));
+      H = H + 1;
+    }
+  }
+  F.insertBlock(H); // falls through to the header
+  int NewLabel = F.block(H)->Label;
+  // Out-of-loop branches into the loop now enter through the preheader.
+  // Recompute loop membership (indices shifted) so back-edge branches keep
+  // targeting the header itself.
+  LoopInfo LI(F);
+  const NaturalLoop *Fresh = nullptr;
+  for (const NaturalLoop &L : LI.loops())
+    if (F.block(L.Header)->Label == HLabel)
+      Fresh = &L;
+  CODEREP_CHECK(Fresh, "loop vanished while creating its preheader");
+  retargetBranches(F, HLabel, NewLabel, *Fresh, H);
+}
+
+/// One hoisting attempt over the whole function. Returns true on change
+/// (analyses are then stale and the driver restarts).
+bool hoistOnce(Function &F) {
+  LoopInfo LI(F);
+  Dominators Dom(F);
+  Liveness LV(F);
+  const RegUniverse &U = LV.universe();
+
+  for (const NaturalLoop &Loop : LI.loops()) {
+    // Gather loop-wide facts.
+    bool LoopWritesMem = false;
+    std::map<int, int> DefCount;
+    for (int B : Loop.Blocks)
+      for (const Insn &I : F.block(B)->Insns) {
+        if (I.writesMem() || I.Op == Opcode::Call)
+          LoopWritesMem = true;
+        int D = I.definedReg();
+        if (D >= 0)
+          ++DefCount[D];
+      }
+    std::vector<int> ExitSources;
+    for (int B : Loop.Blocks)
+      for (int S : F.successors(B))
+        if (!Loop.contains(S)) {
+          ExitSources.push_back(B);
+          break;
+        }
+
+    auto dominatesExits = [&](int B) {
+      for (int E : ExitSources)
+        if (!Dom.dominates(B, E))
+          return false;
+      return true;
+    };
+
+    std::vector<int> Used;
+    for (int B : Loop.Blocks) {
+      BasicBlock *Block = F.block(B);
+      for (size_t I = 0; I < Block->Insns.size(); ++I) {
+        const Insn &X = Block->Insns[I];
+        if (X.hasSideEffects() || X.isTransfer() ||
+            X.Op == Opcode::Compare || X.Op == Opcode::Call ||
+            X.Op == Opcode::Nop)
+          continue;
+        int D = X.definedReg();
+        if (!isVirtualReg(D) || DefCount[D] != 1)
+          continue;
+        if (X.readsMem() && LoopWritesMem)
+          continue;
+        // Operand invariance: no used register is defined in the loop.
+        Used.clear();
+        X.appendUsedRegs(Used);
+        bool Invariant = true;
+        for (int R : Used)
+          if (DefCount.count(R) && DefCount[R] > 0) {
+            Invariant = false;
+            break;
+          }
+        if (!Invariant)
+          continue;
+        // The value must be set on every iteration path and not be used
+        // before being set.
+        if (LV.liveIn(Loop.Header).test(U.slot(D)))
+          continue;
+        if (!dominatesExits(B))
+          continue;
+        // In a loop without exits "dominates all exits" is vacuous, so a
+        // division there could be speculated into a fresh fault. Keep it.
+        if ((X.Op == Opcode::Div || X.Op == Opcode::Rem) &&
+            ExitSources.empty())
+          continue;
+
+        // Find or create the preheader.
+        int P = findPreheader(F, Loop);
+        if (P < 0) {
+          createPreheader(F, Loop);
+          return true; // structure changed; restart with fresh analyses
+        }
+        BasicBlock *Pre = F.block(P);
+        Insn Hoisted = X;
+        Block->Insns.erase(Block->Insns.begin() + I);
+        if (Pre->terminator())
+          Pre->Insns.insert(Pre->Insns.end() - 1, Hoisted);
+        else
+          Pre->Insns.push_back(Hoisted);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool opt::runCodeMotion(Function &F) {
+  bool Changed = false;
+  int Guard = 0;
+  while (hoistOnce(F) && Guard++ < 10000)
+    Changed = true;
+  return Changed;
+}

@@ -1,0 +1,35 @@
+//===- ConstEval.h - Compile-time RTL evaluation ----------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared 32-bit constant evaluation used by constant folding and by the
+/// constant propagation inside CSE. Semantics match the interpreter
+/// exactly (wrapping arithmetic, masked shifts); divisions by zero are
+/// reported as non-evaluable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OPT_CONSTEVAL_H
+#define CODEREP_OPT_CONSTEVAL_H
+
+#include "rtl/Insn.h"
+
+namespace coderep::opt {
+
+/// Evaluates a binary ALU opcode on 32-bit constants. Returns false when
+/// the operation cannot be folded (division by zero, non-ALU opcode).
+bool evalConstBinary(rtl::Opcode Op, int64_t A, int64_t B, int64_t &Result);
+
+/// Evaluates Neg/Not.
+bool evalConstUnary(rtl::Opcode Op, int64_t A, int64_t &Result);
+
+/// True if \p Cond holds for a comparison that produced \p Diff.
+bool condHoldsFor(rtl::CondCode Cond, int64_t Diff);
+
+} // namespace coderep::opt
+
+#endif // CODEREP_OPT_CONSTEVAL_H

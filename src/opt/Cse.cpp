@@ -1,0 +1,347 @@
+//===- Cse.cpp - Common subexpression elimination ------------------------------===//
+//
+// Value numbering with copy and constant propagation over extended basic
+// blocks: a block with a unique, already-processed predecessor inherits its
+// value table. Replication produces exactly such single-predecessor
+// fall-through chains, which is how "an initial value is assigned to a
+// register, followed by an unconditional jump" collapses after the jump is
+// replaced by replicated code (§3.3.2). Store-to-load forwarding is
+// included; any store or call invalidates unrelated memory values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+#include "opt/ConstEval.h"
+#include "support/Check.h"
+
+#include <array>
+#include <map>
+#include <optional>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::opt;
+using namespace coderep::rtl;
+
+namespace {
+
+using ExprKey = std::array<int64_t, 8>;
+
+/// The value-numbering state at one program point.
+struct ValueTable {
+  std::map<int, int> RegVN;         ///< register -> value number
+  std::map<ExprKey, int> ExprVN;    ///< expression -> value number
+  std::map<int, int64_t> ConstVal;  ///< value number -> known constant
+  std::map<int, int> Holder;        ///< value number -> register holding it
+  int MemEpoch = 0;
+  int NextVN = 1;
+
+  int freshVN() { return NextVN++; }
+
+  int vnOfReg(int R) {
+    auto It = RegVN.find(R);
+    if (It != RegVN.end())
+      return It->second;
+    int VN = freshVN();
+    RegVN[R] = VN;
+    Holder[VN] = R;
+    return VN;
+  }
+
+  int vnOfExpr(ExprKey Key) {
+    auto It = ExprVN.find(Key);
+    if (It != ExprVN.end())
+      return It->second;
+    int VN = freshVN();
+    ExprVN[Key] = VN;
+    return VN;
+  }
+
+  int vnOfOperand(const Operand &O) {
+    switch (O.Kind) {
+    case OperandKind::Reg:
+      return vnOfReg(O.Base);
+    case OperandKind::Imm: {
+      int VN = vnOfExpr({-1, O.Disp, 0, 0, 0, 0, 0, 0});
+      ConstVal[VN] = static_cast<int32_t>(O.Disp);
+      return VN;
+    }
+    case OperandKind::Mem:
+      return vnOfExpr(memKey(O, MemEpoch));
+    case OperandKind::None:
+      return vnOfExpr({-3, 0, 0, 0, 0, 0, 0, 0});
+    }
+    CODEREP_UNREACHABLE("bad operand kind");
+  }
+
+  /// Canonical key for a memory access at the given epoch: address
+  /// components by value number, plus access size.
+  ExprKey memKey(const Operand &O, int Epoch) {
+    int64_t BaseVN = O.Base >= 0 ? vnOfReg(O.Base) : -1;
+    int64_t IndexVN = O.Index >= 0 ? vnOfReg(O.Index) : -1;
+    return {-2, BaseVN, IndexVN, O.Scale, O.Sym, O.Disp, O.Size, Epoch};
+  }
+
+  /// Canonical key for the *address* of a memory operand (no epoch; used
+  /// by Lea, whose result does not depend on memory contents).
+  ExprKey addrKey(const Operand &O) {
+    int64_t BaseVN = O.Base >= 0 ? vnOfReg(O.Base) : -1;
+    int64_t IndexVN = O.Index >= 0 ? vnOfReg(O.Index) : -1;
+    return {-4, BaseVN, IndexVN, O.Scale, O.Sym, O.Disp, 0, 0};
+  }
+
+  /// The register currently holding \p VN, or -1.
+  int validHolder(int VN) {
+    auto It = Holder.find(VN);
+    if (It == Holder.end())
+      return -1;
+    auto RIt = RegVN.find(It->second);
+    if (RIt == RegVN.end() || RIt->second != VN)
+      return -1;
+    return It->second;
+  }
+
+  void setReg(int R, int VN) {
+    RegVN[R] = VN;
+    if (validHolder(VN) < 0)
+      Holder[VN] = R;
+  }
+
+  void killMemory() { ++MemEpoch; }
+};
+
+class CsePass {
+public:
+  CsePass(Function &F, const target::Target &T) : F(F), T(T) {}
+
+  bool run() {
+    std::vector<std::vector<int>> Preds = F.predecessors();
+    std::vector<std::optional<ValueTable>> OutState(F.size());
+    bool Changed = false;
+    for (int B = 0; B < F.size(); ++B) {
+      ValueTable Table;
+      if (Preds[B].size() == 1) {
+        int P = Preds[B][0];
+        if (P < B && OutState[P])
+          Table = *OutState[P]; // extended-basic-block inheritance
+      }
+      Changed |= processBlock(*F.block(B), Table);
+      OutState[B] = std::move(Table);
+    }
+    return Changed;
+  }
+
+private:
+  Function &F;
+  const target::Target &T;
+
+  bool processBlock(BasicBlock &B, ValueTable &VT);
+  bool rewriteOperands(Insn &I, ValueTable &VT);
+};
+
+bool CsePass::rewriteOperands(Insn &I, ValueTable &VT) {
+  // SP/FP arithmetic is the stack discipline: hands off.
+  int D = I.definedReg();
+  if (D == RegSP || D == RegFP)
+    return false;
+  bool Changed = false;
+  auto rewrite = [&](Operand &O, bool ValuePosition) {
+    if (!ValuePosition || !O.isReg())
+      return;
+    if (O.Base == RegSP || O.Base == RegFP || O.Base == RegCC)
+      return;
+    int VN = VT.vnOfReg(O.Base);
+    Operand Saved = O;
+    // Constant propagation first.
+    auto CIt = VT.ConstVal.find(VN);
+    if (CIt != VT.ConstVal.end()) {
+      O = Operand::imm(CIt->second);
+      if (T.isLegal(I)) {
+        Changed |= !(O == Saved);
+        return;
+      }
+      O = Saved;
+    }
+    // Copy propagation: use the oldest holder of the same value.
+    int H = VT.validHolder(VN);
+    if (H >= 0 && H != O.Base && H != RegCC && H != RegRV) {
+      O = Operand::reg(H);
+      if (T.isLegal(I)) {
+        Changed = true;
+        return;
+      }
+      O = Saved;
+    }
+  };
+  rewrite(I.Src1, true);
+  rewrite(I.Src2, true);
+  return Changed;
+}
+
+bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
+  bool Changed = false;
+  for (size_t Idx = 0; Idx < B.Insns.size(); ++Idx) {
+    Insn &I = B.Insns[Idx];
+    Changed |= rewriteOperands(I, VT);
+
+    int D = I.definedReg();
+    bool StackDef = D == RegSP || D == RegFP;
+
+    switch (I.Op) {
+    case Opcode::Move: {
+      if (I.Dst.isMem()) {
+        // Store: kill memory, then forward the stored value to later loads
+        // of the same address.
+        int VN = VT.vnOfOperand(I.Src1);
+        VT.killMemory();
+        // Store-to-load forwarding is value-preserving only for full
+        // words: a byte store truncates and the later load sign-extends.
+        if (I.Dst.Size == 4)
+          VT.ExprVN[VT.memKey(I.Dst, VT.MemEpoch)] = VN;
+        break;
+      }
+      if (StackDef) {
+        VT.setReg(D, VT.freshVN());
+        break;
+      }
+      int VN = VT.vnOfOperand(I.Src1);
+      // A load whose value is already in a register becomes a register
+      // move; a known constant becomes an immediate move.
+      if (I.Src1.isMem()) {
+        auto CIt = VT.ConstVal.find(VN);
+        int H = VT.validHolder(VN);
+        if (CIt != VT.ConstVal.end()) {
+          Insn New = Insn::move(I.Dst, Operand::imm(CIt->second));
+          if (T.isLegal(New)) {
+            I = New;
+            Changed = true;
+          }
+        } else if (H >= 0 && H != D && H != RegCC) {
+          Insn New = Insn::move(I.Dst, Operand::reg(H));
+          if (T.isLegal(New)) {
+            I = New;
+            Changed = true;
+          }
+        }
+      }
+      VT.setReg(D, VN);
+      if (I.Src1.isImm())
+        VT.ConstVal[VN] = static_cast<int32_t>(I.Src1.Disp);
+      break;
+    }
+    case Opcode::Lea:
+    case Opcode::Neg:
+    case Opcode::Not:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr: {
+      if (StackDef || !I.Dst.isReg()) {
+        if (I.Dst.isMem())
+          VT.killMemory();
+        if (D >= 0)
+          VT.setReg(D, VT.freshVN());
+        break;
+      }
+      ExprKey Key;
+      int VN1 = -1, VN2 = -1;
+      if (I.Op == Opcode::Lea) {
+        Key = VT.addrKey(I.Src1);
+      } else {
+        VN1 = VT.vnOfOperand(I.Src1);
+        VN2 = VT.vnOfOperand(I.Src2);
+        Key = {static_cast<int>(I.Op), VN1, VN2, 0, 0, 0, 0, 0};
+      }
+      int VN = VT.vnOfExpr(Key);
+      // Constant propagation through the operation itself: when every
+      // operand's value is known, the result is known, even on targets
+      // where an immediate operand would be illegal in this RTL.
+      if (I.Op != Opcode::Lea && !VT.ConstVal.count(VN)) {
+        auto C1 = VT.ConstVal.find(VN1);
+        int64_t R;
+        if (I.isUnaryOp()) {
+          if (C1 != VT.ConstVal.end() &&
+              evalConstUnary(I.Op, C1->second, R))
+            VT.ConstVal[VN] = R;
+        } else if (I.isBinaryOp()) {
+          auto C2 = VT.ConstVal.find(VN2);
+          if (C1 != VT.ConstVal.end() && C2 != VT.ConstVal.end() &&
+              evalConstBinary(I.Op, C1->second, C2->second, R))
+            VT.ConstVal[VN] = R;
+        }
+      }
+      int H = VT.validHolder(VN);
+      auto CIt = VT.ConstVal.find(VN);
+      if (CIt != VT.ConstVal.end()) {
+        Insn New = Insn::move(I.Dst, Operand::imm(CIt->second));
+        if (T.isLegal(New) && !(New == I)) {
+          I = New;
+          Changed = true;
+        }
+      } else if (H >= 0 && H != D) {
+        Insn New = Insn::move(I.Dst, Operand::reg(H));
+        if (T.isLegal(New)) {
+          I = New;
+          Changed = true;
+        }
+      }
+      VT.setReg(D, VN);
+      break;
+    }
+    case Opcode::Compare: {
+      int VN1 = VT.vnOfOperand(I.Src1);
+      int VN2 = VT.vnOfOperand(I.Src2);
+      int VN = VT.vnOfExpr(
+          {static_cast<int>(Opcode::Compare), VN1, VN2, 0, 0, 0, 0, 0});
+      auto C1 = VT.ConstVal.find(VN1);
+      auto C2 = VT.ConstVal.find(VN2);
+      if (C1 != VT.ConstVal.end() && C2 != VT.ConstVal.end())
+        VT.ConstVal[VN] = static_cast<int32_t>(C1->second) -
+                          static_cast<int64_t>(static_cast<int32_t>(
+                              C2->second));
+      VT.setReg(RegCC, VN);
+      break;
+    }
+    case Opcode::CondJump: {
+      // Constant folding at conditional branches, with the comparison
+      // value propagated across the extended basic block (§3.3.1).
+      auto CCIt = VT.RegVN.find(RegCC);
+      if (CCIt != VT.RegVN.end()) {
+        auto CV = VT.ConstVal.find(CCIt->second);
+        if (CV != VT.ConstVal.end()) {
+          if (condHoldsFor(I.Cond, CV->second))
+            I = Insn::jump(I.Target);
+          else
+            B.Insns.erase(B.Insns.begin() + Idx);
+          Changed = true;
+          return Changed; // terminator handled; block done
+        }
+      }
+      break;
+    }
+    case Opcode::Call:
+      VT.killMemory();
+      VT.setReg(RegRV, VT.freshVN());
+      break;
+    case Opcode::Jump:
+    case Opcode::SwitchJump:
+    case Opcode::Return:
+    case Opcode::Nop:
+      break;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool opt::runLocalCse(Function &F, const target::Target &T) {
+  return CsePass(F, T).run();
+}

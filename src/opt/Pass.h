@@ -1,0 +1,93 @@
+//===- Pass.h - The standard VPO optimization passes ------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "standard code optimization techniques" of the paper's Section 5:
+/// branch chaining, dead code elimination, basic-block reordering,
+/// instruction selection (RTL combining), common subexpression elimination,
+/// dead variable elimination, code motion, strength reduction, constant
+/// folding (including at conditional branches), register allocation by
+/// coloring and delay-slot filling. Every pass returns true when it changed
+/// the function, which drives the Figure-3 fixpoint loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OPT_PASS_H
+#define CODEREP_OPT_PASS_H
+
+#include "cfg/Function.h"
+#include "target/Target.h"
+
+namespace coderep::opt {
+
+/// Retargets branches whose destination block only transfers control
+/// further ("branch chaining"), and removes conditional branches to the
+/// fall-through block.
+bool runBranchChaining(cfg::Function &F);
+
+/// Removes blocks unreachable from the entry.
+bool runUnreachableElim(cfg::Function &F);
+
+/// Reorders basic blocks to turn unconditional jumps into fall-throughs
+/// where possible (the paper's "reorder basic blocks to minimize jumps").
+bool runBlockReorder(cfg::Function &F);
+
+/// Merges a block into its predecessor when control can only flow between
+/// them (grows basic blocks; enables local CSE and delay-slot filling).
+bool runMergeFallthroughs(cfg::Function &F);
+
+/// Constant folding: evaluates ALU RTLs on constants, simplifies algebraic
+/// identities, and folds comparisons of two constants into unconditional
+/// control flow ("constant folding at conditional branches", §3.3.1).
+bool runConstantFolding(cfg::Function &F);
+
+/// Instruction selection in the VPO sense: combines adjacent RTLs into one
+/// RTL whenever the combination is a legal instruction on \p T (folding
+/// loads/immediates/address arithmetic into users on the CISC target).
+bool runInstructionSelection(cfg::Function &F, const target::Target &T);
+
+/// Common subexpression elimination with copy/constant propagation over
+/// extended basic blocks (a block inherits the value table of a unique
+/// predecessor, so replicated code paths simplify, §3.3.2). Needs the
+/// target to keep every rewritten RTL legal.
+bool runLocalCse(cfg::Function &F, const target::Target &T);
+
+/// Deletes assignments to registers that are never subsequently used
+/// ("dead variable elimination").
+bool runDeadVariableElim(cfg::Function &F);
+
+/// Loop-invariant code motion into loop preheaders ("code motion"); creates
+/// preheader blocks on demand (§3.3.3 discusses their placement after
+/// replication).
+bool runCodeMotion(cfg::Function &F);
+
+/// Strength reduction: multiplications by powers of two become shifts, and
+/// multiplications of loop induction variables become running sums.
+bool runStrengthReduction(cfg::Function &F);
+
+/// Register assignment (Figure 3): promotes the word-sized scalar locals
+/// and parameters whose address is never taken (Function::PromotableLocals)
+/// from their frame slots into virtual registers, inserting entry loads
+/// for parameters. This is what puts loop counters into registers, as in
+/// the paper's Table 1 ("d[1]" holding i).
+bool runRegisterAssignment(cfg::Function &F);
+
+/// Graph-coloring register allocation: maps every virtual register onto the
+/// target's allocatable registers, spilling to the frame when needed.
+/// Returns true on change; afterwards the function contains no virtual
+/// registers.
+bool runRegisterAllocation(cfg::Function &F, const target::Target &T);
+
+/// Fills the architectural delay slot of every transfer with an independent
+/// RTL from the same block, or a Nop ("for the SPARC processor, delay slots
+/// after transfers of control were filled"). Only meaningful for targets
+/// with delay slots. Returns the number of Nops emitted via \p NopsOut.
+bool runDelaySlotFilling(cfg::Function &F, int *NopsOut = nullptr);
+
+} // namespace coderep::opt
+
+#endif // CODEREP_OPT_PASS_H

@@ -1,0 +1,109 @@
+//===- Pipeline.cpp - The Figure-3 optimization ordering ---------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "opt/Pass.h"
+#include "support/Check.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::opt;
+
+const char *opt::optLevelName(OptLevel Level) {
+  switch (Level) {
+  case OptLevel::Simple:
+    return "SIMPLE";
+  case OptLevel::Loops:
+    return "LOOPS";
+  case OptLevel::Jumps:
+    return "JUMPS";
+  }
+  CODEREP_UNREACHABLE("bad optimization level");
+}
+
+/// Runs the configured replication algorithm once.
+static bool runReplication(Function &F, const PipelineOptions &Options,
+                           PipelineStats *Stats) {
+  replicate::ReplicationStats *S =
+      Stats ? &Stats->Replication : nullptr;
+  switch (Options.Level) {
+  case OptLevel::Simple:
+    return false;
+  case OptLevel::Loops:
+    return replicate::runLoops(F, S);
+  case OptLevel::Jumps:
+    return replicate::runJumps(F, Options.Replication, S);
+  }
+  CODEREP_UNREACHABLE("bad optimization level");
+}
+
+void opt::optimizeFunction(Function &F, const target::Target &T,
+                           const PipelineOptions &OrigOptions,
+                           PipelineStats *Stats) {
+  F.verify();
+
+  // Pin the replication growth budget to the pre-optimization size so the
+  // repeated replication invocations of the fixpoint loop share one
+  // budget instead of compounding it.
+  PipelineOptions Options = OrigOptions;
+  if (Options.Replication.GrowthBaselineRtls < 0)
+    Options.Replication.GrowthBaselineRtls = std::max(F.rtlCount(), 64);
+
+  // Initial branch optimizations (Figure 3, before the loop).
+  runBranchChaining(F);
+  runUnreachableElim(F);
+  runBlockReorder(F);
+  runMergeFallthroughs(F);
+
+  // "Code replication is performed at an early stage so that the later
+  // optimizations can take advantage of the simplified control flow."
+  runReplication(F, Options, Stats);
+  runUnreachableElim(F);
+  runMergeFallthroughs(F);
+
+  runInstructionSelection(F, T);
+  // "register assignment; if (change) instruction selection;"
+  if (runRegisterAssignment(F))
+    runInstructionSelection(F, T);
+
+  // The fixpoint loop of Figure 3.
+  int Iter = 0;
+  bool Changed = true;
+  while (Changed && Iter++ < Options.MaxFixpointIterations) {
+    Changed = false;
+    Changed |= runLocalCse(F, T);
+    Changed |= runDeadVariableElim(F);
+    Changed |= runCodeMotion(F);
+    Changed |= runStrengthReduction(F);
+    Changed |= runInstructionSelection(F, T);
+    Changed |= runBranchChaining(F);
+    Changed |= runConstantFolding(F);
+    Changed |= runReplication(F, Options, Stats);
+    Changed |= runUnreachableElim(F);
+    Changed |= runMergeFallthroughs(F);
+    F.verify();
+  }
+  if (Stats)
+    Stats->FixpointIterations += Iter;
+
+  runRegisterAllocation(F, T);
+  runBranchChaining(F);
+  runUnreachableElim(F);
+  runBlockReorder(F);
+  runMergeFallthroughs(F);
+
+  if (T.hasDelaySlots()) {
+    int Nops = 0;
+    runDelaySlotFilling(F, &Nops);
+    if (Stats)
+      Stats->DelaySlotNops += Nops;
+  }
+  F.verify();
+}
+
+void opt::optimizeProgram(Program &P, const target::Target &T,
+                          const PipelineOptions &Options,
+                          PipelineStats *Stats) {
+  for (auto &F : P.Functions)
+    optimizeFunction(*F, T, Options, Stats);
+}

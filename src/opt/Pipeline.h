@@ -1,0 +1,78 @@
+//===- Pipeline.h - The Figure-3 optimization ordering ----------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the optimization phases in the order of the paper's Figure 3:
+///
+///   branch chaining; dead code elimination;
+///   reorder basic blocks to minimize jumps;
+///   code replication (either JUMPS or LOOPS); dead code elimination;
+///   instruction selection;
+///   do {
+///     common subexpression elimination; dead variable elimination;
+///     code motion; strength reduction; recurrences; instruction selection;
+///     branch chaining; constant folding at conditional branches;
+///     code replication (either JUMPS or LOOPS); dead code elimination;
+///   } while (change);
+///   register allocation by register coloring;
+///   filling of delay slots for RISCs;
+///
+/// Deviation from the figure: register allocation runs once after the
+/// fixpoint loop instead of inside it. With the per-invocation register
+/// file (see ease/Interp.h) allocation does not change instruction counts
+/// beyond removing coalesced copies, which CSE already handles for virtual
+/// registers, so the measured quantities are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OPT_PIPELINE_H
+#define CODEREP_OPT_PIPELINE_H
+
+#include "cfg/Function.h"
+#include "replicate/Replication.h"
+#include "target/Target.h"
+
+namespace coderep::opt {
+
+/// The three measured configurations of the paper's Section 5.
+enum class OptLevel {
+  Simple, ///< standard optimizations only
+  Loops,  ///< + loop-condition replication
+  Jumps,  ///< + generalized code replication
+};
+
+/// Returns "SIMPLE"/"LOOPS"/"JUMPS".
+const char *optLevelName(OptLevel Level);
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  OptLevel Level = OptLevel::Simple;
+  replicate::ReplicationOptions Replication;
+  int MaxFixpointIterations = 16;
+};
+
+/// What the pipeline did (aggregated over all fixpoint rounds).
+struct PipelineStats {
+  replicate::ReplicationStats Replication;
+  int FixpointIterations = 0;
+  int DelaySlotNops = 0; ///< Nops emitted for unfillable delay slots
+};
+
+/// Optimizes one function in place. The function must already be legal for
+/// \p T (see Target::legalizeFunction).
+void optimizeFunction(cfg::Function &F, const target::Target &T,
+                      const PipelineOptions &Options,
+                      PipelineStats *Stats = nullptr);
+
+/// Optimizes every function of \p P.
+void optimizeProgram(cfg::Program &P, const target::Target &T,
+                     const PipelineOptions &Options,
+                     PipelineStats *Stats = nullptr);
+
+} // namespace coderep::opt
+
+#endif // CODEREP_OPT_PIPELINE_H

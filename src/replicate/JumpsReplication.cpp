@@ -1,0 +1,484 @@
+//===- JumpsReplication.cpp - The JUMPS algorithm ------------------------------===//
+//
+// Implementation of the paper's Section 4. See Replication.h for the
+// step-by-step summary. The unit of work is one unconditional jump: its
+// replacement sequence is planned from the shortest-path matrix, copied
+// with fresh labels, spliced into the positional order directly after the
+// jump's block, and validated; a replication that would make the flow
+// graph non-reducible is rolled back and the alternative sequence tried.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replicate/Replication.h"
+
+#include "cfg/CfgAnalysis.h"
+#include "replicate/ShortestPaths.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::replicate;
+using namespace coderep::rtl;
+
+namespace {
+
+/// Everything needed to emit one copied block, captured before any splicing
+/// shifts positional indices.
+struct CopySpec {
+  int OrigLabel = -1;
+  std::vector<Insn> Insns;
+  /// Label of the positional successor when the original can fall through
+  /// (plain fall-through or the false side of a conditional branch).
+  int FallLabel = -1;
+};
+
+/// A planned replication: the block sequence to copy, in copy order.
+struct Plan {
+  std::vector<CopySpec> Specs;
+  std::vector<int> OrigIndices; ///< original positional indices, per spec
+  int64_t TotalRtls = 0;
+  bool FavorLoops = false; ///< sequence must link up with FNextLabel
+  int FNextLabel = -1;
+  int LoopsCompleted = 0;
+};
+
+class JumpsPass {
+public:
+  JumpsPass(Function &F, const ReplicationOptions &O, ReplicationStats &S)
+      : F(F), O(O), S(S) {}
+
+  bool run();
+
+private:
+  Function &F;
+  const ReplicationOptions &O;
+  ReplicationStats &S;
+  /// (block label, target label) pairs proven non-replicable.
+  std::set<std::pair<int, int>> Skip;
+  int64_t GrowthBudget = 0;
+
+  /// The round-scoped shortest-path matrix (step 1). It is computed once
+  /// per round and *not* recomputed after each replication, exactly as the
+  /// paper describes; because replications splice in new blocks, matrix
+  /// entries are translated through stable block labels and every
+  /// reconstructed path is re-validated against the current flow graph.
+  std::unique_ptr<ShortestPaths> RoundSP;
+  std::vector<int> RoundLabels;             ///< old index -> label
+  std::map<int, int> RoundLabelToOld;       ///< label -> old index
+
+  bool runRound();
+  bool tryJumpAt(int BIdx);
+  std::vector<int> translatePath(const std::vector<int> &OldPath);
+  bool buildPlan(const std::vector<int> &Path, int BIdx, bool FavorLoops,
+                 const LoopInfo &LI, Plan &Out);
+  bool applyPlan(int BIdx, const Plan &P);
+};
+
+bool JumpsPass::run() {
+  int64_t Baseline =
+      O.GrowthBaselineRtls > 0 ? O.GrowthBaselineRtls : F.rtlCount();
+  GrowthBudget =
+      static_cast<int64_t>(O.MaxGrowthFactor * std::max<int64_t>(Baseline, 64));
+  if (F.rtlCount() >= GrowthBudget)
+    return false;
+  bool Changed = false;
+  // "The algorithm JUMPS is applied to a function for each unconditional
+  // jump until no more unconditional jumps can be replaced."
+  while (S.JumpsReplaced < O.MaxReplacements && runRound())
+    Changed = true;
+  if (Changed)
+    removeUnreachableBlocks(F);
+  return Changed;
+}
+
+bool JumpsPass::runRound() {
+  // Step 1 once per round.
+  RoundSP = std::make_unique<ShortestPaths>(F);
+  RoundLabels.clear();
+  RoundLabelToOld.clear();
+  for (int B = 0; B < F.size(); ++B) {
+    RoundLabels.push_back(F.block(B)->Label);
+    RoundLabelToOld[F.block(B)->Label] = B;
+  }
+  bool Changed = false;
+  for (int B = 0; B < F.size() && S.JumpsReplaced < O.MaxReplacements; ++B) {
+    if (!F.block(B)->endsWithJump())
+      continue;
+    if (tryJumpAt(B))
+      Changed = true;
+  }
+  return Changed;
+}
+
+/// Sums the RTLs of a path's blocks.
+static int64_t pathRtls(const Function &F, const std::vector<int> &Path) {
+  int64_t N = 0;
+  for (int B : Path)
+    N += F.block(B)->rtlCount();
+  return N;
+}
+
+/// Maps an old-index path onto current indices via labels, and checks that
+/// every step is still an edge of the flow graph (replications performed
+/// earlier in the round may have retargeted branches). Returns empty when
+/// invalid.
+std::vector<int> JumpsPass::translatePath(const std::vector<int> &OldPath) {
+  std::vector<int> Out;
+  Out.reserve(OldPath.size());
+  for (int Old : OldPath) {
+    int Idx = F.indexOfLabel(RoundLabels[Old]);
+    if (Idx < 0)
+      return {};
+    Out.push_back(Idx);
+  }
+  for (size_t I = 0; I + 1 < Out.size(); ++I) {
+    bool EdgeOk = false;
+    for (int Succ : F.successors(Out[I]))
+      if (Succ == Out[I + 1])
+        EdgeOk = true;
+    if (!EdgeOk)
+      return {};
+  }
+  return Out;
+}
+
+bool JumpsPass::tryJumpAt(int BIdx) {
+  BasicBlock *B = F.block(BIdx);
+  int TargetLabel = B->Insns.back().Target;
+  if (Skip.count({B->Label, TargetLabel}))
+    return false;
+  int TIdx = F.indexOfLabel(TargetLabel);
+  CODEREP_CHECK(TIdx >= 0, "jump to unknown label");
+  if (TIdx == BIdx)
+    return false; // self loop: an infinite loop offers no replacement
+  if (TIdx == BIdx + 1) {
+    B->Insns.pop_back(); // jump to next is a plain fall-through
+    return true;
+  }
+
+  // Translate target and fall-through block into round (matrix) indices;
+  // blocks created during this round wait for the next round's matrix.
+  auto OldT = RoundLabelToOld.find(TargetLabel);
+  if (OldT == RoundLabelToOld.end())
+    return false;
+
+  // Step 2: the two candidate sequences.
+  LoopInfo LI(F);
+  std::vector<int> ReturnPath =
+      translatePath(RoundSP->cheapestReturnPath(OldT->second));
+  // A return path must still end in a return block.
+  if (!ReturnPath.empty()) {
+    const rtl::Insn *Term = F.block(ReturnPath.back())->terminator();
+    if (!Term || Term->Op != Opcode::Return)
+      ReturnPath.clear();
+  }
+  // Section 6 extension: a sequence may also end at an indirect jump.
+  std::vector<int> IndirectPath;
+  if (O.AllowIndirectEndings) {
+    IndirectPath = translatePath(RoundSP->cheapestIndirectPath(OldT->second));
+    if (!IndirectPath.empty()) {
+      const rtl::Insn *Term = F.block(IndirectPath.back())->terminator();
+      if (!Term || Term->Op != Opcode::SwitchJump)
+        IndirectPath.clear();
+    }
+    if (!IndirectPath.empty() && IndirectPath.front() != TIdx)
+      IndirectPath.clear();
+  }
+
+  std::vector<int> LoopPath;
+  if (BIdx + 1 < F.size()) {
+    auto OldNext = RoundLabelToOld.find(F.block(BIdx + 1)->Label);
+    if (OldNext != RoundLabelToOld.end()) {
+      LoopPath = translatePath(RoundSP->path(OldT->second, OldNext->second));
+      // The final block must still have an edge to the fall-through block.
+      if (!LoopPath.empty()) {
+        bool EdgeOk = false;
+        for (int Succ : F.successors(LoopPath.back()))
+          if (Succ == BIdx + 1)
+            EdgeOk = true;
+        if (!EdgeOk)
+          LoopPath.clear();
+      }
+      // The path must start at the current target.
+      if (!LoopPath.empty() && LoopPath.front() != TIdx)
+        LoopPath.clear();
+    }
+  }
+  if (!ReturnPath.empty() && ReturnPath.front() != TIdx)
+    ReturnPath.clear();
+
+  struct Candidate {
+    std::vector<int> Path;
+    bool FavorLoops;
+    int64_t Cost;
+  };
+  std::vector<Candidate> Candidates;
+  if (!ReturnPath.empty())
+    Candidates.push_back({ReturnPath, false, pathRtls(F, ReturnPath)});
+  if (!LoopPath.empty())
+    Candidates.push_back({LoopPath, true, pathRtls(F, LoopPath)});
+  if (!IndirectPath.empty())
+    Candidates.push_back({IndirectPath, false, pathRtls(F, IndirectPath)});
+  // Order the attempts by the step-2 heuristic; later candidates are the
+  // fallbacks step 6 retries with.
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [&](const Candidate &A, const Candidate &B) {
+                     switch (O.Heuristic) {
+                     case PathChoice::Shortest:
+                       return A.Cost < B.Cost;
+                     case PathChoice::FavorReturns:
+                       return !A.FavorLoops && B.FavorLoops;
+                     case PathChoice::FavorLoops:
+                       return A.FavorLoops && !B.FavorLoops;
+                     }
+                     return false;
+                   });
+
+  for (const Candidate &C : Candidates) {
+    Plan P;
+    if (!buildPlan(C.Path, BIdx, C.FavorLoops, LI, P))
+      continue;
+    if (O.MaxSequenceRtls >= 0 && P.TotalRtls > O.MaxSequenceRtls)
+      continue;
+    if (P.TotalRtls > GrowthBudget - F.rtlCount())
+      continue;
+
+    // Step 6: apply on the real function, validate, roll back on failure.
+    std::unique_ptr<Function> Snapshot = F.clone();
+    if (!applyPlan(BIdx, P)) {
+      F.adoptBlocksFrom(*Snapshot);
+      continue;
+    }
+    F.verify();
+    if (!isReducible(F)) {
+      F.adoptBlocksFrom(*Snapshot);
+      ++S.RolledBackIrreducible;
+      continue;
+    }
+    ++S.JumpsReplaced;
+    S.LoopsCompleted += P.LoopsCompleted;
+    return true;
+  }
+  // Only blocks whose matrix data was current count as proven failures;
+  // paths invalidated by earlier replications this round retry next round.
+  if (!ReturnPath.empty() || !LoopPath.empty() || !IndirectPath.empty())
+    Skip.insert({B->Label, TargetLabel});
+  ++S.SkippedNoCandidate;
+  return false;
+}
+
+bool JumpsPass::buildPlan(const std::vector<int> &Path, int BIdx,
+                          bool FavorLoops, const LoopInfo &LI, Plan &Out) {
+  Out.FavorLoops = FavorLoops;
+  if (FavorLoops)
+    Out.FNextLabel = F.block(BIdx + 1)->Label;
+
+  std::vector<int> Order;
+  std::set<int> Included;
+  int Prev = BIdx; // "the block collected previously"; initially the source
+  for (int PathBlock : Path) {
+    if (Included.count(PathBlock)) {
+      Prev = PathBlock;
+      continue; // already pulled in by a loop completion
+    }
+    // Step 3: entering a natural loop through its header from outside
+    // pulls the entire loop in, in positional order - rotated so the
+    // header comes first. Control enters the copies at the first one, so
+    // it must be the header; for a bottom-test loop the header is
+    // positionally last and blind positional order would fall into the
+    // body, executing one iteration unconditionally.
+    const NaturalLoop *L = LI.loopWithHeader(PathBlock);
+    if (L && !L->contains(Prev)) {
+      size_t HeaderPos = 0;
+      for (size_t Q = 0; Q < L->Blocks.size(); ++Q)
+        if (L->Blocks[Q] == L->Header)
+          HeaderPos = Q;
+      for (size_t Q = 0; Q < L->Blocks.size(); ++Q) {
+        int Block = L->Blocks[(HeaderPos + Q) % L->Blocks.size()];
+        Order.push_back(Block);
+        Included.insert(Block);
+      }
+      ++Out.LoopsCompleted;
+      Prev = PathBlock;
+      continue;
+    }
+    Order.push_back(PathBlock);
+    Included.insert(PathBlock);
+    Prev = PathBlock;
+  }
+
+  for (int Idx : Order) {
+    const BasicBlock *Blk = F.block(Idx);
+    CopySpec Spec;
+    Spec.OrigLabel = Blk->Label;
+    Spec.Insns = Blk->Insns;
+    if (!Blk->endsWithUnconditionalTransfer()) {
+      if (Idx + 1 >= F.size())
+        return false; // malformed; cannot happen on verified functions
+      Spec.FallLabel = F.block(Idx + 1)->Label;
+    }
+    Out.Specs.push_back(std::move(Spec));
+    Out.OrigIndices.push_back(Idx);
+    Out.TotalRtls += Blk->rtlCount();
+  }
+  return !Out.Specs.empty();
+}
+
+bool JumpsPass::applyPlan(int BIdx, const Plan &P) {
+  const size_t K = P.Specs.size();
+  // Control falls from the jump's block into the first copy: it must be a
+  // copy of the jump's target.
+  CODEREP_CHECK(P.Specs[0].OrigLabel == F.block(BIdx)->Insns.back().Target,
+                "replication plan does not start at the jump target");
+
+  // Fresh labels for every copy.
+  std::vector<int> CopyLabel(K);
+  for (size_t I = 0; I < K; ++I)
+    CopyLabel[I] = F.freshLabel();
+
+  // Step 4/5 label mapping: a reference from copy position \p From to
+  // original label \p Label goes to the nearest *forward* copy of that
+  // block, then to a backward copy, then to the original.
+  auto mapLabel = [&](int Label, int From) {
+    int Backward = -1;
+    for (size_t J = 0; J < K; ++J) {
+      if (P.Specs[J].OrigLabel != Label)
+        continue;
+      if (static_cast<int>(J) > From)
+        return CopyLabel[J];
+      Backward = CopyLabel[J];
+    }
+    return Backward >= 0 ? Backward : Label;
+  };
+
+  // Emit the copies (plus stub jump blocks where a copy cannot fall
+  // through to its intended next block).
+  std::vector<std::unique_ptr<BasicBlock>> NewBlocks;
+  for (size_t I = 0; I < K; ++I) {
+    const CopySpec &Spec = P.Specs[I];
+    auto C = std::make_unique<BasicBlock>(CopyLabel[I]);
+    C->Insns = Spec.Insns;
+
+    // The original label of whatever must come next for fall-through.
+    int NextOrigLabel = -1;
+    if (I + 1 < K)
+      NextOrigLabel = P.Specs[I + 1].OrigLabel;
+    else if (P.FavorLoops)
+      NextOrigLabel = P.FNextLabel;
+
+    Insn *T = C->terminator();
+    int StubTarget = -1; // original label needing an explicit jump
+    if (!T) {
+      // Original fell through to Spec.FallLabel.
+      if (Spec.FallLabel != NextOrigLabel)
+        StubTarget = Spec.FallLabel;
+    } else {
+      switch (T->Op) {
+      case Opcode::Jump:
+        if (T->Target == NextOrigLabel)
+          C->Insns.pop_back(); // becomes the fall-through to the next copy
+        else
+          T->Target = mapLabel(T->Target, static_cast<int>(I));
+        break;
+      case Opcode::CondJump:
+        if (Spec.FallLabel == NextOrigLabel) {
+          T->Target = mapLabel(T->Target, static_cast<int>(I));
+        } else if (T->Target == NextOrigLabel) {
+          // Reverse the branch so the copy falls through along the path
+          // (step 4: "a conditional branch is reversed in the replicated
+          // path if the path does not follow the fall-through").
+          T->Cond = negate(T->Cond);
+          T->Target = mapLabel(Spec.FallLabel, static_cast<int>(I));
+        } else {
+          T->Target = mapLabel(T->Target, static_cast<int>(I));
+          StubTarget = Spec.FallLabel;
+        }
+        break;
+      case Opcode::Return:
+        break;
+      case Opcode::SwitchJump:
+        // Only reachable through step-3 loop completion; remap the table.
+        for (int &Label : T->Table)
+          Label = mapLabel(Label, static_cast<int>(I));
+        break;
+      default:
+        CODEREP_UNREACHABLE("unexpected terminator in replication plan");
+      }
+    }
+    NewBlocks.push_back(std::move(C));
+    if (StubTarget >= 0) {
+      auto Stub = std::make_unique<BasicBlock>(F.freshLabel());
+      Stub->Insns.push_back(
+          Insn::jump(mapLabel(StubTarget, static_cast<int>(I))));
+      NewBlocks.push_back(std::move(Stub));
+      ++S.StubJumpsAdded;
+    }
+  }
+
+  // The final copy must not fall off the end of the sequence.
+  {
+    BasicBlock *Last = NewBlocks.back().get();
+    if (!Last->endsWithUnconditionalTransfer()) {
+      bool FallsToFNext = false;
+      const CopySpec &LastSpec = P.Specs.back();
+      if (P.FavorLoops) {
+        const Insn *T = Last->terminator();
+        if (!T)
+          FallsToFNext = LastSpec.FallLabel == P.FNextLabel;
+        else // reversed or kept conditional branch falls through
+          FallsToFNext = true;
+      }
+      if (!FallsToFNext)
+        return false; // defensive; the stub logic should prevent this
+    }
+  }
+
+  // Splice: remove the jump, insert the copies right after its block.
+  BasicBlock *B = F.block(BIdx);
+  CODEREP_CHECK(B->endsWithJump(), "plan applied to a non-jump block");
+  B->Insns.pop_back();
+  int InsertAt = BIdx + 1;
+  for (size_t I = 0; I < NewBlocks.size(); ++I)
+    F.insertBlock(InsertAt + static_cast<int>(I), std::move(NewBlocks[I]));
+
+  // Step 5: when replication started inside a loop and copied part of it,
+  // conditional branches of the uncopied loop blocks that lead into the
+  // copied part are redirected to the copies, avoiding partially
+  // overlapping loops (Figure 2).
+  LoopInfo LIBefore(F);
+  std::set<int> CopiedLabels;
+  for (const CopySpec &Spec : P.Specs)
+    CopiedLabels.insert(Spec.OrigLabel);
+  const NaturalLoop *BLoop = LIBefore.innermostLoopContaining(BIdx);
+  if (BLoop) {
+    for (int X : BLoop->Blocks) {
+      BasicBlock *XB = F.block(X);
+      if (CopiedLabels.count(XB->Label))
+        continue;
+      Insn *T = XB->terminator();
+      if (!T || T->Op != Opcode::CondJump)
+        continue;
+      if (CopiedLabels.count(T->Target)) {
+        int Mapped = mapLabel(T->Target, -1);
+        if (Mapped != T->Target) {
+          T->Target = Mapped;
+          ++S.Step5Retargets;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool replicate::runJumps(Function &F, const ReplicationOptions &Options,
+                         ReplicationStats *Stats) {
+  ReplicationStats Local;
+  JumpsPass Pass(F, Options, Stats ? *Stats : Local);
+  return Pass.run();
+}

@@ -1,0 +1,125 @@
+//===- LoopsReplication.cpp - The LOOPS baseline -------------------------------===//
+//
+// The conventional loop-condition replication the paper measures as LOOPS:
+// "unconditional jumps preceding a loop or at the end of the loop are
+// replaced by the termination condition of the loop and the replicated
+// condition is reversed". Two shapes are handled:
+//
+//  * Back jump (while layout):    H: if !c goto E; body; B: goto H;  E:
+//    The "goto H" becomes a copy of H's condition with the branch reversed
+//    (if c goto body), saving one jump per iteration.
+//
+//  * Entry jump (for layout):     P: goto T; body; T: if c goto body; E:
+//    The "goto T" becomes a copy of T's condition reversed (if !c goto E),
+//    saving one jump at loop entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replicate/Replication.h"
+
+#include "cfg/CfgAnalysis.h"
+#include "support/Check.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::replicate;
+using namespace coderep::rtl;
+
+namespace {
+
+/// True if \p Test is a pure condition block: every RTL except the
+/// terminating conditional branch is free of stores/calls, so copying it
+/// only duplicates the evaluation of the termination condition.
+bool isConditionBlock(const BasicBlock &Test) {
+  const Insn *T = Test.terminator();
+  if (!T || T->Op != Opcode::CondJump)
+    return false;
+  for (size_t I = 0; I + 1 < Test.Insns.size(); ++I)
+    if (Test.Insns[I].hasSideEffects())
+      return false;
+  return true;
+}
+
+/// Replaces the Jump terminating block \p BIdx with a reversed copy of the
+/// condition block \p TestIdx. \p FallLabel must be the label of the block
+/// positionally following \p BIdx, and must be one of the test's two
+/// successors; the copied branch is arranged to branch to the *other*
+/// successor and fall through to \p FallLabel.
+bool replaceJumpWithReversedTest(Function &F, int BIdx, int TestIdx) {
+  if (BIdx + 1 >= F.size())
+    return false;
+  BasicBlock *B = F.block(BIdx);
+  const BasicBlock *Test = F.block(TestIdx);
+  const Insn &T = Test->Insns.back();
+  int FallLabel = F.block(BIdx + 1)->Label;
+  int TestFallLabel =
+      TestIdx + 1 < F.size() ? F.block(TestIdx + 1)->Label : -1;
+
+  Insn NewBranch = T;
+  if (T.Target == FallLabel) {
+    // The test branched to what now follows B: reverse so B falls through
+    // to it and branches to the test's fall-through side.
+    if (TestFallLabel < 0)
+      return false;
+    NewBranch.Cond = negate(T.Cond);
+    NewBranch.Target = TestFallLabel;
+  } else if (TestFallLabel == FallLabel) {
+    // The test fell through to what now follows B: same branch works.
+  } else {
+    return false; // the jump's context does not line up with the test
+  }
+
+  B->Insns.pop_back();
+  B->Insns.insert(B->Insns.end(), Test->Insns.begin(), Test->Insns.end() - 1);
+  B->Insns.push_back(NewBranch);
+  return true;
+}
+
+/// One LOOPS rewrite. Returns true on change.
+bool loopsOnce(Function &F, ReplicationStats &S) {
+  LoopInfo LI(F);
+  for (int B = 0; B < F.size(); ++B) {
+    BasicBlock *Blk = F.block(B);
+    if (!Blk->endsWithJump())
+      continue;
+    int Target = Blk->Insns.back().Target;
+    int TIdx = F.indexOfLabel(Target);
+    CODEREP_CHECK(TIdx >= 0, "jump to unknown label");
+    if (TIdx == B)
+      continue;
+    const NaturalLoop *L = LI.innermostLoopContaining(TIdx);
+    if (!L || !isConditionBlock(*F.block(TIdx)))
+      continue;
+    const Insn &Test = F.block(TIdx)->Insns.back();
+    int TestTargetIdx = F.indexOfLabel(Test.Target);
+    bool TestExitsByBranch = !L->contains(TestTargetIdx);
+    bool TestExitsByFall =
+        TIdx + 1 < F.size() && !L->contains(TIdx + 1);
+    if (TestExitsByBranch == TestExitsByFall)
+      continue; // not a loop termination test
+
+    bool BackJump = L->contains(B) && TIdx == L->Header;
+    bool EntryJump = !L->contains(B);
+    if (!BackJump && !EntryJump)
+      continue;
+    if (replaceJumpWithReversedTest(F, B, TIdx)) {
+      ++S.JumpsReplaced;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool replicate::runLoops(Function &F, ReplicationStats *Stats) {
+  ReplicationStats Local;
+  ReplicationStats &S = Stats ? *Stats : Local;
+  bool Changed = false;
+  int Guard = 0;
+  while (loopsOnce(F, S) && Guard++ < 1000)
+    Changed = true;
+  if (Changed)
+    removeUnreachableBlocks(F);
+  return Changed;
+}

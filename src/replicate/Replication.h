@@ -1,0 +1,89 @@
+//===- Replication.h - Code replication (LOOPS and JUMPS) ------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two replication algorithms:
+///
+///  * LOOPS - the conventional optimization: an unconditional jump entering
+///    or closing a natural loop is replaced by a copy of the loop's
+///    termination condition with the condition reversed.
+///
+///  * JUMPS - the paper's generalized algorithm (Section 4): every
+///    unconditional jump is replaced by the cheapest replicated block
+///    sequence that either ends in a return ("favoring returns") or links
+///    up with the block positionally following the jump ("favoring
+///    loops"), with whole-loop inclusion to keep loops natural (step 3),
+///    branch reversal and label remapping in the copies (step 4),
+///    retargeting of in-loop branches into partial copies (step 5), and a
+///    reducibility check with rollback (step 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_REPLICATE_REPLICATION_H
+#define CODEREP_REPLICATE_REPLICATION_H
+
+#include "cfg/Function.h"
+
+namespace coderep::replicate {
+
+/// Which replacement sequence JUMPS step 2 prefers when both exist.
+enum class PathChoice {
+  Shortest,     ///< minimize replicated RTLs (the paper's stated goal)
+  FavorReturns, ///< always try the return-terminated sequence first
+  FavorLoops,   ///< always try the sequence linking to the next block first
+};
+
+/// Tunables for JUMPS.
+struct ReplicationOptions {
+  PathChoice Heuristic = PathChoice::Shortest;
+
+  /// Maximum RTLs a single replication may copy (-1 = unlimited). The
+  /// paper's Section 6 proposes this cap to trade dynamic improvement for
+  /// code size; bench/ablation_length_cap sweeps it.
+  int64_t MaxSequenceRtls = -1;
+
+  /// Backstop on total function growth, as a multiple of the baseline RTL
+  /// count. The baseline is GrowthBaselineRtls when set (the driver pins it
+  /// to the pre-replication size so repeated invocations inside the
+  /// Figure-3 fixpoint loop cannot compound), else the size when this
+  /// invocation started.
+  double MaxGrowthFactor = 8.0;
+
+  /// Growth baseline in RTLs; -1 derives it from the function.
+  int64_t GrowthBaselineRtls = -1;
+
+  /// Backstop on replications per invocation.
+  int MaxReplacements = 2000;
+
+  /// Section 6 extension: allow a replication sequence to end at a block
+  /// terminating in an indirect jump (the jump table is not copied; the
+  /// copied indirect jump targets the original labels). Off by default to
+  /// match the paper's measured configuration ("the replication of
+  /// indirect jumps has not yet been implemented").
+  bool AllowIndirectEndings = false;
+};
+
+/// Counters describing what the pass did.
+struct ReplicationStats {
+  int JumpsReplaced = 0;          ///< successfully replaced jumps
+  int RolledBackIrreducible = 0;  ///< step-6 rollbacks
+  int SkippedNoCandidate = 0;     ///< jumps with no viable sequence
+  int LoopsCompleted = 0;         ///< step-3 whole-loop inclusions
+  int Step5Retargets = 0;         ///< step-5 branch retargets
+  int StubJumpsAdded = 0;         ///< explicit jumps materialized in copies
+};
+
+/// Generalized code replication. Returns true if the function changed.
+bool runJumps(cfg::Function &F, const ReplicationOptions &Options = {},
+              ReplicationStats *Stats = nullptr);
+
+/// Loop-condition replication only. Returns true if the function changed.
+bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr);
+
+} // namespace coderep::replicate
+
+#endif // CODEREP_REPLICATE_REPLICATION_H

@@ -1,0 +1,101 @@
+//===- ShortestPaths.cpp - All-pairs shortest paths over the CFG -------------===//
+
+#include "replicate/ShortestPaths.h"
+
+#include "support/Check.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::replicate;
+
+ShortestPaths::ShortestPaths(const Function &F) {
+  int N = F.size();
+  Dist.assign(N, std::vector<int64_t>(N, Inf));
+  Next.assign(N, std::vector<int>(N, -1));
+  BlockCost.resize(N);
+
+  for (int U = 0; U < N; ++U) {
+    const BasicBlock *B = F.block(U);
+    BlockCost[U] = B->rtlCount();
+    if (B->terminator() && B->terminator()->Op == rtl::Opcode::Return)
+      ReturnBlocks.push_back(U);
+    // Transitions out of indirect jumps are excluded from replication,
+    // but such blocks may *end* a sequence (Section 6).
+    if (B->terminator() && B->terminator()->Op == rtl::Opcode::SwitchJump) {
+      IndirectBlocks.push_back(U);
+      continue;
+    }
+    for (int V : F.successors(U)) {
+      if (V == U)
+        continue; // no self-reflexive transitions
+      // Edge weight: the RTLs of the source block (what a replication
+      // passing through U copies before reaching V).
+      if (BlockCost[U] < Dist[U][V]) {
+        Dist[U][V] = BlockCost[U];
+        Next[U][V] = V;
+      }
+    }
+  }
+
+  // Warshall-style transitive closure, keeping the shortest connection.
+  for (int K = 0; K < N; ++K)
+    for (int U = 0; U < N; ++U) {
+      if (Dist[U][K] == Inf)
+        continue;
+      for (int V = 0; V < N; ++V) {
+        if (U == V || Dist[K][V] == Inf)
+          continue;
+        int64_t Through = Dist[U][K] + Dist[K][V];
+        if (Through < Dist[U][V]) {
+          Dist[U][V] = Through;
+          Next[U][V] = Next[U][K];
+        }
+      }
+    }
+}
+
+std::vector<int> ShortestPaths::path(int From, int To) const {
+  std::vector<int> Out;
+  if (From == To || Dist[From][To] >= Inf)
+    return Out;
+  int Cur = From;
+  while (Cur != To) {
+    Out.push_back(Cur);
+    Cur = Next[Cur][To];
+    CODEREP_CHECK(Cur >= 0, "broken shortest-path successor chain");
+    CODEREP_CHECK(Out.size() <= Dist.size(), "shortest-path cycle");
+  }
+  return Out;
+}
+
+std::vector<int>
+ShortestPaths::cheapestEndingAt(int From,
+                                const std::vector<int> &Endings) const {
+  int64_t BestCost = Inf;
+  int BestBlock = -1;
+  for (int R : Endings) {
+    int64_t C = (R == From ? 0 : Dist[From][R]) + BlockCost[R];
+    if (C < BestCost) {
+      BestCost = C;
+      BestBlock = R;
+    }
+  }
+  std::vector<int> Out;
+  if (BestBlock < 0)
+    return Out;
+  if (BestBlock == From) {
+    Out.push_back(From);
+    return Out;
+  }
+  Out = path(From, BestBlock);
+  Out.push_back(BestBlock);
+  return Out;
+}
+
+std::vector<int> ShortestPaths::cheapestReturnPath(int From) const {
+  return cheapestEndingAt(From, ReturnBlocks);
+}
+
+std::vector<int> ShortestPaths::cheapestIndirectPath(int From) const {
+  return cheapestEndingAt(From, IndirectBlocks);
+}

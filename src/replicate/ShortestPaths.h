@@ -1,0 +1,71 @@
+//===- ShortestPaths.h - All-pairs shortest paths over the CFG --*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step 1 of the paper's JUMPS algorithm: the all-pairs shortest-path
+/// matrix over the control-flow graph, where the length of a path is the
+/// number of RTLs in the traversed blocks (the code that would have to be
+/// replicated). Computed with the Warshall/Floyd O(n^3) recurrence the
+/// paper cites ([Wa62], [Fl62]). Self-transitions are excluded, as are all
+/// transitions out of indirect jumps ("the replication of indirect jumps
+/// has not yet been implemented").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_REPLICATE_SHORTESTPATHS_H
+#define CODEREP_REPLICATE_SHORTESTPATHS_H
+
+#include "cfg/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace coderep::replicate {
+
+/// All-pairs shortest paths in RTL counts.
+class ShortestPaths {
+public:
+  static constexpr int64_t Inf = INT64_MAX / 4;
+
+  explicit ShortestPaths(const cfg::Function &F);
+
+  /// Cost of the cheapest path from \p From to \p To in RTLs, counting
+  /// every traversed block *except* \p To itself (i.e. exactly the RTLs a
+  /// replication stopping at \p To would copy). Inf if unreachable. \p From
+  /// and \p To must be distinct.
+  int64_t cost(int From, int To) const { return Dist[From][To]; }
+
+  /// Reconstructs the block sequence of the cheapest path from \p From to
+  /// \p To, including \p From but excluding \p To. Empty if unreachable.
+  std::vector<int> path(int From, int To) const;
+
+  /// Cheapest "favoring returns" candidate from \p From: the full block
+  /// sequence (including the final return block) with minimal total RTL
+  /// count. Empty if no return block is reachable.
+  std::vector<int> cheapestReturnPath(int From) const;
+
+  /// Cheapest sequence from \p From ending at a block that terminates in
+  /// an indirect jump (including that block). The paper's Section 6
+  /// proposes this as a third sequence kind: the indirect jump ends the
+  /// copy and its jump table need not be duplicated. Empty if none is
+  /// reachable.
+  std::vector<int> cheapestIndirectPath(int From) const;
+
+private:
+  std::vector<std::vector<int64_t>> Dist;
+  std::vector<std::vector<int>> Next;
+  std::vector<int> ReturnBlocks;
+  std::vector<int> IndirectBlocks;
+  std::vector<int64_t> BlockCost;
+
+  std::vector<int> cheapestEndingAt(int From,
+                                    const std::vector<int> &Endings) const;
+};
+
+} // namespace coderep::replicate
+
+#endif // CODEREP_REPLICATE_SHORTESTPATHS_H

@@ -1,0 +1,369 @@
+//===- Insn.cpp - RTL instructions -----------------------------------------===//
+
+#include "rtl/Insn.h"
+
+#include "support/Check.h"
+#include "support/Format.h"
+
+using namespace coderep;
+using namespace coderep::rtl;
+
+CondCode rtl::negate(CondCode C) {
+  switch (C) {
+  case CondCode::Eq:
+    return CondCode::Ne;
+  case CondCode::Ne:
+    return CondCode::Eq;
+  case CondCode::Lt:
+    return CondCode::Ge;
+  case CondCode::Le:
+    return CondCode::Gt;
+  case CondCode::Gt:
+    return CondCode::Le;
+  case CondCode::Ge:
+    return CondCode::Lt;
+  }
+  CODEREP_UNREACHABLE("bad condition code");
+}
+
+CondCode rtl::swapOperands(CondCode C) {
+  switch (C) {
+  case CondCode::Eq:
+    return CondCode::Eq;
+  case CondCode::Ne:
+    return CondCode::Ne;
+  case CondCode::Lt:
+    return CondCode::Gt;
+  case CondCode::Le:
+    return CondCode::Ge;
+  case CondCode::Gt:
+    return CondCode::Lt;
+  case CondCode::Ge:
+    return CondCode::Le;
+  }
+  CODEREP_UNREACHABLE("bad condition code");
+}
+
+Insn Insn::move(Operand Dst, Operand Src) {
+  Insn I(Opcode::Move);
+  I.Dst = Dst;
+  I.Src1 = Src;
+  return I;
+}
+
+Insn Insn::binary(Opcode O, Operand Dst, Operand A, Operand B) {
+  Insn I(O);
+  CODEREP_CHECK(I.isBinaryOp(), "binary() requires a binary opcode");
+  I.Dst = Dst;
+  I.Src1 = A;
+  I.Src2 = B;
+  return I;
+}
+
+Insn Insn::unary(Opcode O, Operand Dst, Operand A) {
+  Insn I(O);
+  CODEREP_CHECK(I.isUnaryOp(), "unary() requires a unary opcode");
+  I.Dst = Dst;
+  I.Src1 = A;
+  return I;
+}
+
+Insn Insn::lea(Operand Dst, Operand Mem) {
+  Insn I(Opcode::Lea);
+  CODEREP_CHECK(Dst.isReg() && Mem.isMem(), "lea needs reg <- mem operands");
+  I.Dst = Dst;
+  I.Src1 = Mem;
+  return I;
+}
+
+Insn Insn::compare(Operand A, Operand B) {
+  Insn I(Opcode::Compare);
+  I.Dst = Operand::reg(RegCC);
+  I.Src1 = A;
+  I.Src2 = B;
+  return I;
+}
+
+Insn Insn::condJump(CondCode C, int Label) {
+  Insn I(Opcode::CondJump);
+  I.Cond = C;
+  I.Target = Label;
+  return I;
+}
+
+Insn Insn::jump(int Label) {
+  Insn I(Opcode::Jump);
+  I.Target = Label;
+  return I;
+}
+
+Insn Insn::switchJump(Operand Index, std::vector<int> Labels) {
+  Insn I(Opcode::SwitchJump);
+  I.Src1 = Index;
+  I.Table = std::move(Labels);
+  return I;
+}
+
+Insn Insn::call(int Callee) {
+  Insn I(Opcode::Call);
+  I.Callee = Callee;
+  return I;
+}
+
+Insn Insn::ret() { return Insn(Opcode::Return); }
+
+int Insn::definedReg() const {
+  switch (Op) {
+  case Opcode::Compare:
+    return RegCC;
+  case Opcode::Call:
+    return RegRV;
+  case Opcode::Move:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Lea:
+    return Dst.isReg() ? Dst.Base : -1;
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::SwitchJump:
+  case Opcode::Return:
+  case Opcode::Nop:
+    return -1;
+  }
+  CODEREP_UNREACHABLE("bad opcode");
+}
+
+static void appendOperandUses(const Operand &O, std::vector<int> &Out) {
+  if (O.isReg()) {
+    Out.push_back(O.Base);
+    return;
+  }
+  if (O.isMem()) {
+    if (O.Base >= 0)
+      Out.push_back(O.Base);
+    if (O.Index >= 0)
+      Out.push_back(O.Index);
+  }
+}
+
+void Insn::appendUsedRegs(std::vector<int> &Out) const {
+  // The destination contributes uses only through memory addressing.
+  if (Dst.isMem())
+    appendOperandUses(Dst, Out);
+  appendOperandUses(Src1, Out);
+  appendOperandUses(Src2, Out);
+  switch (Op) {
+  case Opcode::CondJump:
+    Out.push_back(RegCC);
+    break;
+  case Opcode::Call:
+    Out.push_back(RegSP); // arguments live in memory at SP
+    break;
+  case Opcode::Return:
+    Out.push_back(RegRV);
+    Out.push_back(RegSP);
+    Out.push_back(RegFP);
+    break;
+  default:
+    break;
+  }
+}
+
+bool Insn::writesMem() const {
+  switch (Op) {
+  case Opcode::Call:
+    return true; // conservatively: callees may write memory
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::SwitchJump:
+  case Opcode::Return:
+  case Opcode::Compare:
+  case Opcode::Nop:
+    return false;
+  default:
+    return Dst.isMem();
+  }
+}
+
+bool Insn::readsMem() const {
+  if (Op == Opcode::Call)
+    return true;
+  if (Op == Opcode::Lea)
+    return false; // address formation only, no access
+  return Src1.isMem() || Src2.isMem();
+}
+
+bool Insn::hasSideEffects() const {
+  // SP/FP updates carry the stack discipline, which the dataflow analyses
+  // do not model; treat them as untouchable.
+  if (Dst.isReg() && (Dst.Base == RegSP || Dst.Base == RegFP))
+    return true;
+  return writesMem() || Op == Opcode::Call || isTransfer();
+}
+
+static void renameOperandUses(Operand &O, int From, int To) {
+  if (O.isReg()) {
+    if (O.Base == From)
+      O.Base = To;
+    return;
+  }
+  if (O.isMem()) {
+    if (O.Base == From)
+      O.Base = To;
+    if (O.Index == From)
+      O.Index = To;
+  }
+}
+
+void Insn::renameUses(int From, int To) {
+  if (Dst.isMem())
+    renameOperandUses(Dst, From, To);
+  renameOperandUses(Src1, From, To);
+  renameOperandUses(Src2, From, To);
+}
+
+void Insn::renameDef(int From, int To) {
+  if (Dst.isReg() && Dst.Base == From)
+    Dst.Base = To;
+}
+
+bool rtl::operator==(const Insn &A, const Insn &B) {
+  return A.Op == B.Op && A.Cond == B.Cond && A.Dst == B.Dst &&
+         A.Src1 == B.Src1 && A.Src2 == B.Src2 && A.Target == B.Target &&
+         A.Table == B.Table && A.Callee == B.Callee;
+}
+
+std::string rtl::toString(const Operand &O) {
+  switch (O.Kind) {
+  case OperandKind::None:
+    return "<none>";
+  case OperandKind::Reg:
+    switch (O.Base) {
+    case RegSP:
+      return "sp";
+    case RegFP:
+      return "fp";
+    case RegRV:
+      return "rv";
+    case RegCC:
+      return "NZ";
+    default:
+      if (isVirtualReg(O.Base))
+        return format("v[%d]", O.Base - FirstVirtual);
+      return format("r[%d]", O.Base);
+    }
+  case OperandKind::Imm:
+    return format("%lld", static_cast<long long>(O.Disp));
+  case OperandKind::Mem: {
+    std::string Addr;
+    if (O.Sym >= 0)
+      Addr += format("g%d.", O.Sym);
+    if (O.Base >= 0) {
+      if (!Addr.empty())
+        Addr += "+";
+      Addr += toString(Operand::reg(O.Base));
+    }
+    if (O.Index >= 0) {
+      Addr += "+" + toString(Operand::reg(O.Index));
+      if (O.Scale != 1)
+        Addr += format("*%d", O.Scale);
+    }
+    if (O.Disp != 0 || Addr.empty())
+      Addr += format("%+lld", static_cast<long long>(O.Disp));
+    return format("%c[%s]", O.Size == 1 ? 'B' : 'L', Addr.c_str());
+  }
+  }
+  CODEREP_UNREACHABLE("bad operand kind");
+}
+
+static const char *binaryOpSymbol(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "+";
+  case Opcode::Sub:
+    return "-";
+  case Opcode::Mul:
+    return "*";
+  case Opcode::Div:
+    return "/";
+  case Opcode::Rem:
+    return "%";
+  case Opcode::And:
+    return "&";
+  case Opcode::Or:
+    return "|";
+  case Opcode::Xor:
+    return "^";
+  case Opcode::Shl:
+    return "<<";
+  case Opcode::Shr:
+    return ">>";
+  default:
+    CODEREP_UNREACHABLE("not a binary op");
+  }
+}
+
+static const char *condSymbol(CondCode C) {
+  switch (C) {
+  case CondCode::Eq:
+    return "==0";
+  case CondCode::Ne:
+    return "!=0";
+  case CondCode::Lt:
+    return "<0";
+  case CondCode::Le:
+    return "<=0";
+  case CondCode::Gt:
+    return ">0";
+  case CondCode::Ge:
+    return ">=0";
+  }
+  CODEREP_UNREACHABLE("bad condition code");
+}
+
+std::string rtl::toString(const Insn &I) {
+  switch (I.Op) {
+  case Opcode::Move:
+    return format("%s=%s;", toString(I.Dst).c_str(), toString(I.Src1).c_str());
+  case Opcode::Neg:
+    return format("%s=-%s;", toString(I.Dst).c_str(), toString(I.Src1).c_str());
+  case Opcode::Not:
+    return format("%s=~%s;", toString(I.Dst).c_str(), toString(I.Src1).c_str());
+  case Opcode::Lea:
+    return format("%s=&%s;", toString(I.Dst).c_str(),
+                  toString(I.Src1).c_str());
+  case Opcode::Compare:
+    return format("NZ=%s?%s;", toString(I.Src1).c_str(),
+                  toString(I.Src2).c_str());
+  case Opcode::CondJump:
+    return format("PC=NZ%s,L%d;", condSymbol(I.Cond), I.Target);
+  case Opcode::Jump:
+    return format("PC=L%d;", I.Target);
+  case Opcode::SwitchJump: {
+    std::string Labels;
+    for (size_t J = 0; J < I.Table.size(); ++J)
+      Labels += format("%sL%d", J ? "," : "", I.Table[J]);
+    return format("PC=TAB[%s]{%s};", toString(I.Src1).c_str(), Labels.c_str());
+  }
+  case Opcode::Call:
+    return format("CALL f%d;", I.Callee);
+  case Opcode::Return:
+    return "PC=RT;";
+  case Opcode::Nop:
+    return "NOP;";
+  default:
+    return format("%s=%s%s%s;", toString(I.Dst).c_str(),
+                  toString(I.Src1).c_str(), binaryOpSymbol(I.Op),
+                  toString(I.Src2).c_str());
+  }
+}

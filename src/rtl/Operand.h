@@ -1,0 +1,122 @@
+//===- Operand.h - RTL operands --------------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operands of Register Transfer Lists (RTLs). An operand is a register, an
+/// immediate, or a memory reference with a 68020-style addressing mode
+/// (optional global symbol + base register + scaled index + displacement).
+/// Which operand shapes are legal in which instruction positions is decided
+/// by the target description, mirroring how VPO kept RTLs legal for the
+/// target machine at all times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_RTL_OPERAND_H
+#define CODEREP_RTL_OPERAND_H
+
+#include <cstdint>
+#include <string>
+
+namespace coderep::rtl {
+
+/// Well-known register numbers. Physical registers occupy [0, FirstVirtual);
+/// the code generator produces virtual registers numbered from FirstVirtual
+/// and the register allocator maps them down into the target's allocatable
+/// range.
+enum Reg : int {
+  RegSP = 0,   ///< stack pointer
+  RegFP = 1,   ///< frame pointer
+  RegRV = 2,   ///< return value
+  RegCC = 3,   ///< condition-code pseudo register ("NZ" in the paper's RTLs)
+  FirstAllocatable = 4,
+  FirstVirtual = 1024,
+};
+
+/// Returns true if \p R names a virtual register.
+inline bool isVirtualReg(int R) { return R >= FirstVirtual; }
+
+/// Discriminates the operand encodings.
+enum class OperandKind : uint8_t { None, Reg, Imm, Mem };
+
+/// One operand of an RTL.
+///
+/// Memory operands compute the address
+///   addr(Sym) + value(Base) + value(Index)*Scale + Disp
+/// where each component is optional. Size is the access width in bytes
+/// (1 = "B[...]", 4 = "L[...]" in the paper's notation).
+struct Operand {
+  OperandKind Kind = OperandKind::None;
+  int Base = -1;    ///< register number (Reg kind) or base register (Mem)
+  int64_t Disp = 0; ///< immediate value (Imm kind) or displacement (Mem)
+  int Index = -1;   ///< index register for Mem, -1 if absent
+  int Scale = 1;    ///< index scale for Mem
+  int Sym = -1;     ///< global symbol id for Mem, -1 if absent
+  uint8_t Size = 4; ///< access width in bytes for Mem (1 or 4)
+
+  /// Makes a register operand.
+  static Operand reg(int R) {
+    Operand O;
+    O.Kind = OperandKind::Reg;
+    O.Base = R;
+    return O;
+  }
+
+  /// Makes an immediate operand.
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.Kind = OperandKind::Imm;
+    O.Disp = V;
+    return O;
+  }
+
+  /// Makes a memory operand.
+  static Operand mem(int BaseReg, int64_t Displacement, uint8_t AccessSize = 4,
+                     int IndexReg = -1, int IndexScale = 1, int SymId = -1) {
+    Operand O;
+    O.Kind = OperandKind::Mem;
+    O.Base = BaseReg;
+    O.Disp = Displacement;
+    O.Index = IndexReg;
+    O.Scale = IndexScale;
+    O.Sym = SymId;
+    O.Size = AccessSize;
+    return O;
+  }
+
+  bool isNone() const { return Kind == OperandKind::None; }
+  bool isReg() const { return Kind == OperandKind::Reg; }
+  bool isImm() const { return Kind == OperandKind::Imm; }
+  bool isMem() const { return Kind == OperandKind::Mem; }
+
+  /// Returns true if this is the given register.
+  bool isRegNo(int R) const { return isReg() && Base == R; }
+
+  friend bool operator==(const Operand &A, const Operand &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    switch (A.Kind) {
+    case OperandKind::None:
+      return true;
+    case OperandKind::Reg:
+      return A.Base == B.Base;
+    case OperandKind::Imm:
+      return A.Disp == B.Disp;
+    case OperandKind::Mem:
+      return A.Base == B.Base && A.Disp == B.Disp && A.Index == B.Index &&
+             A.Scale == B.Scale && A.Sym == B.Sym && A.Size == B.Size;
+    }
+    return false;
+  }
+};
+
+/// Renders \p O in the paper's RTL notation: registers as "r[n]" (with the
+/// reserved ones named "sp"/"fp"/"rv"/"NZ"), memory as "L[...]"/"B[...]".
+std::string toString(const Operand &O);
+
+} // namespace coderep::rtl
+
+#endif // CODEREP_RTL_OPERAND_H

@@ -1,0 +1,75 @@
+//===- BitVec.h - Dense bit vector ------------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size dense bit vector with the set operations the dataflow
+/// analyses need (union, difference, equality), kept deliberately minimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_BITVEC_H
+#define CODEREP_SUPPORT_BITVEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coderep {
+
+/// Fixed-universe bit set.
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(size_t Bits) : NumBits(Bits), Words((Bits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  void set(size_t I) { Words[I >> 6] |= (1ull << (I & 63)); }
+  void reset(size_t I) { Words[I >> 6] &= ~(1ull << (I & 63)); }
+  bool test(size_t I) const { return Words[I >> 6] & (1ull << (I & 63)); }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool unionWith(const BitVec &Other) {
+    bool Changed = false;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= ~Other.
+  void subtract(const BitVec &Other) {
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  friend bool operator==(const BitVec &A, const BitVec &B) {
+    return A.Words == B.Words;
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace coderep
+
+#endif // CODEREP_SUPPORT_BITVEC_H

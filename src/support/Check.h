@@ -1,0 +1,44 @@
+//===- Check.h - Internal consistency checking helpers ---------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion-style helpers used throughout the library. The library never
+/// throws; invariant violations abort with a diagnostic, in the spirit of
+/// LLVM's assert/llvm_unreachable discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_CHECK_H
+#define CODEREP_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coderep {
+
+/// Aborts with a message. Used for control-flow that must be unreachable if
+/// the program's invariants hold. Unlike assert, active in release builds,
+/// because the optimizer operates on user-provided programs and a silent
+/// wrong-code bug is worse than a crash.
+[[noreturn]] inline void unreachable(const char *Msg, const char *File,
+                                     int Line) {
+  std::fprintf(stderr, "fatal: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace coderep
+
+#define CODEREP_UNREACHABLE(MSG) ::coderep::unreachable(MSG, __FILE__, __LINE__)
+
+/// Invariant check that stays on in release builds.
+#define CODEREP_CHECK(COND, MSG)                                              \
+  do {                                                                        \
+    if (!(COND))                                                              \
+      ::coderep::unreachable(MSG, __FILE__, __LINE__);                        \
+  } while (false)
+
+#endif // CODEREP_SUPPORT_CHECK_H

@@ -1,0 +1,52 @@
+//===- Rng.h - Deterministic random number generation ----------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic PRNG (xorshift64*) used by property tests and
+/// workload generators. Deterministic across platforms so measured tables
+/// are bit-stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_RNG_H
+#define CODEREP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace coderep {
+
+/// xorshift64* generator with splitmix-style seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Returns a value uniformly in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a value uniformly in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace coderep
+
+#endif // CODEREP_SUPPORT_RNG_H

@@ -1,0 +1,287 @@
+//===- InterpTest.cpp - RTL interpreter unit tests --------------------------------===//
+
+#include "ease/Interp.h"
+
+#include "frontend/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::ease;
+using namespace coderep::rtl;
+
+namespace {
+
+Operand vr(int N) { return Operand::reg(FirstVirtual + N); }
+
+/// Builds a one-function program around the given body instructions; the
+/// body must leave the result in RegRV and end with Return.
+Program makeProgram(std::vector<Insn> Body) {
+  Program P;
+  auto F = std::make_unique<Function>("main");
+  for (int I = 0; I < 16; ++I)
+    F->freshVReg(); // size the register file for vr(0..15)
+  BasicBlock *B = F->appendBlock();
+  B->Insns.push_back(Insn::move(Operand::reg(RegFP), Operand::reg(RegSP)));
+  for (Insn &I : Body)
+    B->Insns.push_back(std::move(I));
+  if (!B->endsWithUnconditionalTransfer())
+    B->Insns.push_back(Insn::ret());
+  P.Functions.push_back(std::move(F));
+  return P;
+}
+
+int32_t evalProgram(std::vector<Insn> Body) {
+  Program P = makeProgram(std::move(Body));
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return R.ExitCode;
+}
+
+TEST(Interp, ArithmeticWrapsTo32Bits) {
+  // INT_MAX + 1 == INT_MIN, observed via (x >> 31).
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(0), Operand::imm(0x7fffffff)),
+                Insn::binary(Opcode::Add, vr(0), vr(0), Operand::imm(1)),
+                Insn::binary(Opcode::Shr, vr(0), vr(0), Operand::imm(31)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            -1);
+}
+
+TEST(Interp, MulWraps) {
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(0), Operand::imm(0x10000)),
+                Insn::binary(Opcode::Mul, vr(0), vr(0), vr(0)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            0);
+}
+
+TEST(Interp, ShiftCountsAreMasked) {
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(0), Operand::imm(1)),
+                Insn::binary(Opcode::Shl, vr(0), vr(0), Operand::imm(33)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            2);
+}
+
+TEST(Interp, SignedDivisionTruncatesTowardZero) {
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(0), Operand::imm(-7)),
+                Insn::binary(Opcode::Div, vr(0), vr(0), Operand::imm(2)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            -3);
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(0), Operand::imm(-7)),
+                Insn::binary(Opcode::Rem, vr(0), vr(0), Operand::imm(2)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            -1);
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::imm(1)),
+      Insn::binary(Opcode::Div, vr(0), vr(0), Operand::imm(0)),
+  });
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  EXPECT_EQ(R.TrapKind, Trap::DivByZero);
+}
+
+TEST(Interp, ByteLoadsSignExtend) {
+  // Store 0x80 as a byte below SP, load it back: -128.
+  EXPECT_EQ(evalProgram({
+                Insn::move(Operand::mem(RegSP, -64, 1), Operand::imm(0x80)),
+                Insn::move(vr(0), Operand::mem(RegSP, -64, 1)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            -128);
+}
+
+TEST(Interp, WordStoresAreLittleEndianBytes) {
+  EXPECT_EQ(evalProgram({
+                Insn::move(Operand::mem(RegSP, -64, 4),
+                           Operand::imm(0x01020304)),
+                Insn::move(vr(0), Operand::mem(RegSP, -64, 1)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            4);
+}
+
+TEST(Interp, ScaledIndexAddressing) {
+  EXPECT_EQ(evalProgram({
+                Insn::move(vr(1), Operand::imm(3)), // index
+                Insn::move(Operand::mem(RegSP, -64 + 12, 4),
+                           Operand::imm(77)),
+                Insn::move(vr(0),
+                           Operand::mem(RegSP, -64, 4, FirstVirtual + 1, 4)),
+                Insn::move(Operand::reg(RegRV), vr(0)),
+            }),
+            77);
+}
+
+TEST(Interp, NullPageAccessTraps) {
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::mem(-1, 8, 4)), // absolute address 8
+  });
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  EXPECT_EQ(R.TrapKind, Trap::OutOfBounds);
+}
+
+TEST(Interp, StepLimitTraps) {
+  Program P;
+  auto F = std::make_unique<Function>("main");
+  int L = F->freshLabel();
+  BasicBlock *B = F->appendBlockWithLabel(L);
+  B->Insns.push_back(Insn::jump(L)); // infinite loop
+  P.Functions.push_back(std::move(F));
+  RunOptions RO;
+  RO.MaxSteps = 1000;
+  RunResult R = run(P, RO);
+  EXPECT_EQ(R.TrapKind, Trap::StepLimit);
+}
+
+TEST(Interp, MissingMainTraps) {
+  Program P;
+  RunOptions RO;
+  EXPECT_EQ(run(P, RO).TrapKind, Trap::BadProgram);
+}
+
+TEST(Interp, GlobalsInitializedAndRelocated) {
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::mem(-1, 0, 4, -1, 1, 0)),  // g0 word 0
+      Insn::move(vr(1), Operand::mem(-1, 0, 4, -1, 1, 1)),  // g1 = &g0
+      Insn::move(vr(2), Operand::mem(FirstVirtual + 1, 0, 4)), // *g1
+      Insn::binary(Opcode::Sub, vr(0), vr(0), vr(2)),
+      Insn::move(Operand::reg(RegRV), vr(0)),
+  });
+  Global G0;
+  G0.Name = "g0";
+  G0.Size = 4;
+  G0.Init = {42, 0, 0, 0};
+  P.Globals.push_back(G0);
+  Global G1;
+  G1.Name = "g1";
+  G1.Size = 4;
+  G1.Relocs.push_back({0, 0});
+  P.Globals.push_back(G1);
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 0); // *(&g0) == g0
+}
+
+TEST(Interp, DelaySlotExecutesOnBothBranchOutcomes) {
+  // if (taken) -> slot must still run.
+  for (int64_t Bias : {0, 1}) {
+    Program P;
+    auto F = std::make_unique<Function>("main");
+    for (int I = 0; I < 16; ++I)
+      F->freshVReg();
+    int LExit = F->freshLabel();
+    BasicBlock *B0 = F->appendBlock();
+    B0->Insns.push_back(Insn::move(vr(0), Operand::imm(Bias)));
+    B0->Insns.push_back(Insn::compare(vr(0), Operand::imm(0)));
+    B0->Insns.push_back(Insn::condJump(CondCode::Ne, LExit));
+    B0->DelaySlot = Insn::move(Operand::reg(RegRV), Operand::imm(99));
+    BasicBlock *B1 = F->appendBlock();
+    B1->Insns.push_back(Insn::ret());
+    BasicBlock *B2 = F->appendBlockWithLabel(LExit);
+    B2->Insns.push_back(Insn::ret());
+    P.Functions.push_back(std::move(F));
+    RunOptions RO;
+    RunResult R = run(P, RO);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.ExitCode, 99) << "bias " << Bias;
+  }
+}
+
+TEST(Interp, DynamicStatsCountKinds) {
+  const char *Src = R"(
+    int main() {
+      int i, s;
+      s = 0;
+      for (i = 0; i < 10; i++)
+        s += i;
+      return s;
+    }
+  )";
+  Program P;
+  std::string Err;
+  ASSERT_TRUE(frontend::compileToRtl(Src, P, Err)) << Err;
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitCode, 45);
+  EXPECT_EQ(R.Stats.UncondJumps, 1u);       // the for-loop entry jump
+  EXPECT_EQ(R.Stats.CondBranches, 11u);     // 10 taken + 1 exit
+  EXPECT_EQ(R.Stats.Returns, 1u);
+  EXPECT_EQ(R.Stats.Calls, 0u);
+  EXPECT_GT(R.Stats.Executed, 40u);
+  EXPECT_GT(R.Stats.insnsBetweenBranches(), 1.0);
+}
+
+TEST(Interp, IntrinsicsRoundTrip) {
+  const char *Src = R"(
+    char buf[32];
+    int main() {
+      strcpy(buf, "abc");
+      printf("[%s|%d|%c|%o|%x|%5d|%-3d]", buf, -7, 65, 8, 255, 42, 1);
+      printf("%%");
+      return strcmp(buf, "abd") < 0 && strlen(buf) == 3 && abs(-4) == 4 &&
+             atoi("123") == 123;
+    }
+  )";
+  Program P;
+  std::string Err;
+  ASSERT_TRUE(frontend::compileToRtl(Src, P, Err)) << Err;
+  RunOptions RO;
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, "[abc|-7|A|10|ff|   42|1  ]%");
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(Layout, AddressesAreSequentialWords) {
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::imm(1)),
+      Insn::move(Operand::reg(RegRV), vr(0)),
+  });
+  CodeLayout L = layoutCode(P, 0x100);
+  EXPECT_EQ(L.BlockAddr[0][0], 0x100u);
+  EXPECT_EQ(L.insnAddr(0, 0, 2), 0x108u);
+  // 4 RTLs (prologue move + 2 + ret).
+  EXPECT_EQ(L.CodeBytes, 16u);
+}
+
+TEST(Layout, DelaySlotOccupiesWordAfterTerminator) {
+  Program P = makeProgram({Insn::move(Operand::reg(RegRV), Operand::imm(0))});
+  P.Functions[0]->block(0)->DelaySlot = Insn(Opcode::Nop);
+  CodeLayout L = layoutCode(P);
+  EXPECT_EQ(L.CodeBytes, 16u); // 3 RTLs + slot
+}
+
+TEST(Interp, FetchSinkSeesEveryExecutedInsn) {
+  struct Counter : FetchSink {
+    uint64_t N = 0;
+    void fetch(uint32_t) override { ++N; }
+  } Sink;
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::imm(5)),
+      Insn::move(Operand::reg(RegRV), vr(0)),
+  });
+  RunOptions RO;
+  RO.Sink = &Sink;
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(Sink.N, R.Stats.Executed);
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- PipelineTest.cpp - Figure-3 pipeline integration tests ----------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "cfg/CfgAnalysis.h"
+#include "driver/Compiler.h"
+#include "frontend/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::driver;
+using namespace coderep::rtl;
+
+namespace {
+
+TEST(Pipeline, LevelNames) {
+  EXPECT_STREQ(opt::optLevelName(opt::OptLevel::Simple), "SIMPLE");
+  EXPECT_STREQ(opt::optLevelName(opt::OptLevel::Loops), "LOOPS");
+  EXPECT_STREQ(opt::optLevelName(opt::OptLevel::Jumps), "JUMPS");
+}
+
+TEST(Pipeline, OutputHasNoVirtualRegisters) {
+  Compilation C = compile(
+      "int f(int a, int b) { return a * b + a; }"
+      "int main() { return f(6, 7); }",
+      target::TargetKind::Sparc, opt::OptLevel::Jumps);
+  ASSERT_TRUE(C.ok());
+  std::vector<int> Used;
+  for (const auto &F : C.Prog->Functions)
+    for (int B = 0; B < F->size(); ++B)
+      for (const Insn &I : F->block(B)->Insns) {
+        EXPECT_FALSE(isVirtualReg(I.definedReg()));
+        Used.clear();
+        I.appendUsedRegs(Used);
+        for (int R : Used)
+          EXPECT_FALSE(isVirtualReg(R));
+      }
+}
+
+TEST(Pipeline, OutputIsTargetLegal) {
+  const char *Src = R"(
+    int g[16];
+    int main() {
+      int i;
+      for (i = 0; i < 16; i++)
+        g[i] = g[i] * 3 + i;
+      return g[5];
+    }
+  )";
+  for (target::TargetKind TK :
+       {target::TargetKind::M68, target::TargetKind::Sparc}) {
+    auto T = target::createTarget(TK);
+    for (opt::OptLevel L : {opt::OptLevel::Simple, opt::OptLevel::Loops,
+                            opt::OptLevel::Jumps}) {
+      Compilation C = compile(Src, TK, L);
+      ASSERT_TRUE(C.ok());
+      for (const auto &F : C.Prog->Functions)
+        for (int B = 0; B < F->size(); ++B) {
+          for (const Insn &I : F->block(B)->Insns)
+            EXPECT_TRUE(T->isLegal(I)) << toString(I);
+          if (F->block(B)->DelaySlot)
+            EXPECT_TRUE(T->isLegal(*F->block(B)->DelaySlot));
+        }
+    }
+  }
+}
+
+TEST(Pipeline, DelaySlotsOnlyOnRisc) {
+  const char *Src = "int main() { int i, s = 0; "
+                    "for (i = 0; i < 4; i++) s += i; return s; }";
+  Compilation M = compile(Src, target::TargetKind::M68, opt::OptLevel::Jumps);
+  Compilation S = compile(Src, target::TargetKind::Sparc,
+                          opt::OptLevel::Jumps);
+  ASSERT_TRUE(M.ok() && S.ok());
+  bool M68HasSlots = false, SparcHasSlots = false;
+  for (int B = 0; B < M.Prog->Functions[0]->size(); ++B)
+    M68HasSlots |= M.Prog->Functions[0]->block(B)->DelaySlot.has_value();
+  for (int B = 0; B < S.Prog->Functions[0]->size(); ++B)
+    SparcHasSlots |= S.Prog->Functions[0]->block(B)->DelaySlot.has_value();
+  EXPECT_FALSE(M68HasSlots);
+  EXPECT_TRUE(SparcHasSlots);
+}
+
+TEST(Pipeline, SimpleStillOptimizes) {
+  // SIMPLE is not "unoptimized": the standard optimizations must shrink
+  // the naive front-end output considerably.
+  const char *Src = R"(
+    int main() {
+      int i, s = 0;
+      for (i = 0; i < 100; i++)
+        s += i * 4;
+      return s & 255;
+    }
+  )";
+  cfg::Program Naive;
+  std::string Err;
+  ASSERT_TRUE(frontend::compileToRtl(Src, Naive, Err));
+  int NaiveCount = Naive.rtlCount();
+  Compilation C = compile(Src, target::TargetKind::M68, opt::OptLevel::Simple);
+  ASSERT_TRUE(C.ok());
+  EXPECT_LT(C.Static.Instructions, NaiveCount);
+}
+
+TEST(Pipeline, JumpsLevelLeavesNoStaticJumpsHere) {
+  Compilation C = compile(R"(
+    int main() {
+      int i, s = 0;
+      for (i = 0; i < 9; i++) {
+        if (i & 1)
+          s += i;
+        else
+          s ^= i;
+      }
+      return s;
+    }
+  )",
+                          target::TargetKind::Sparc, opt::OptLevel::Jumps);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(C.Static.UncondJumps, 0);
+  // And the pipeline recorded its replication activity.
+  EXPECT_GT(C.Pipeline.Replication.JumpsReplaced, 0);
+  EXPECT_GT(C.Pipeline.FixpointIterations, 0);
+}
+
+TEST(Pipeline, ReplicationRespectsSequenceCapOverride) {
+  const char *Src = R"(
+    int big(int x) {
+      if (x > 5) { x = x * 3 + 1; x = x ^ 77; x = x - 4; x = x | 9; }
+      else { x = x + 13; x = x * 5; x = x & 31; x = x + 2; }
+      x = x * 2 + 7;
+      x = x ^ (x >> 3);
+      x = x + 11;
+      return x;
+    }
+    int main() { return big(9) + big(2); }
+  )";
+  opt::PipelineOptions Capped;
+  Capped.Replication.MaxSequenceRtls = 2;
+  Compilation CCapped = compile(Src, target::TargetKind::M68,
+                                opt::OptLevel::Jumps, &Capped);
+  Compilation CFull =
+      compile(Src, target::TargetKind::M68, opt::OptLevel::Jumps);
+  ASSERT_TRUE(CCapped.ok() && CFull.ok());
+  EXPECT_LE(CCapped.Static.Instructions, CFull.Static.Instructions);
+  // Both behave identically.
+  ease::RunOptions RO;
+  EXPECT_EQ(ease::run(*CCapped.Prog, RO).ExitCode,
+            ease::run(*CFull.Prog, RO).ExitCode);
+}
+
+TEST(Pipeline, StatsAggregateAcrossFunctions) {
+  Compilation C = compile(R"(
+    int f() { int i, s = 0; for (i = 0; i < 3; i++) s++; return s; }
+    int g() { int i, s = 0; for (i = 0; i < 4; i++) s++; return s; }
+    int main() { return f() + g(); }
+  )",
+                          target::TargetKind::Sparc, opt::OptLevel::Jumps);
+  ASSERT_TRUE(C.ok());
+  EXPECT_GE(C.Pipeline.Replication.JumpsReplaced, 2);
+}
+
+TEST(Pipeline, VerifiedOutputForAllBenchShapes) {
+  // Structured + unstructured control flow mix.
+  const char *Src = R"(
+    int main() {
+      int i = 0, s = 0;
+      goto mid;
+    top:
+      s += i;
+      if (s > 50)
+        goto done;
+      i++;
+    mid:
+      if (i < 20)
+        goto top;
+    done:
+      do {
+        s--;
+      } while (s > 40);
+      return s;
+    }
+  )";
+  for (target::TargetKind TK :
+       {target::TargetKind::M68, target::TargetKind::Sparc}) {
+    ease::RunResult Ref = compileAndRun(Src, TK, opt::OptLevel::Simple);
+    ASSERT_TRUE(Ref.ok());
+    for (opt::OptLevel L : {opt::OptLevel::Loops, opt::OptLevel::Jumps}) {
+      ease::RunResult R = compileAndRun(Src, TK, L);
+      ASSERT_TRUE(R.ok()) << R.TrapMessage;
+      EXPECT_EQ(R.ExitCode, Ref.ExitCode);
+    }
+  }
+}
+
+TEST(StaticStats, CountsKinds) {
+  Compilation C = compile(R"(
+    int main() {
+      int i = 0;
+      while (i < 3) i++;
+      switch (i) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return 2;
+      case 3: return 3;
+      case 4: return 4;
+      case 5: return 5;
+      default: return 9;
+      }
+    }
+  )",
+                          target::TargetKind::M68, opt::OptLevel::Simple);
+  ASSERT_TRUE(C.ok());
+  EXPECT_GT(C.Static.Instructions, 0);
+  EXPECT_GT(C.Static.CondBranches, 0);
+  EXPECT_EQ(C.Static.IndirectJumps, 1); // the dense switch's jump table
+}
+
+} // namespace

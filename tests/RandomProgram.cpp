@@ -1,0 +1,298 @@
+//===- RandomProgram.cpp - Random MiniC program generator ---------------------===//
+
+#include "RandomProgram.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace coderep;
+using namespace coderep::tests;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(uint64_t Seed) : R(Seed) {}
+
+  std::string run();
+
+private:
+  Rng R;
+  std::string Out;
+  int Indent = 0;
+  int NextVar = 0;
+  int NextLoopVar = 0;
+  int Depth = 0;
+  bool InLoop = false;
+
+  /// Scalar int variables currently in scope (names v0, v1, ...).
+  std::vector<std::string> Vars;
+  /// Parameters of the current function.
+  std::vector<std::string> Params;
+
+  void line(const std::string &S) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out += S;
+    Out += "\n";
+  }
+
+  std::string freshVar() { return format("v%d", NextVar++); }
+  std::string freshLoopVar() { return format("lv%d", NextLoopVar++); }
+
+  std::string pickVar() {
+    if (Vars.empty())
+      return "g0";
+    return Vars[R.below(Vars.size())];
+  }
+
+  std::string expr(int MaxDepth);
+  std::string condition(int MaxDepth);
+  void statement();
+  void block(int Statements);
+  void function(int Index, int NumParams);
+};
+
+std::string Generator::expr(int MaxDepth) {
+  if (MaxDepth <= 0 || R.chance(2, 6)) {
+    switch (R.below(4)) {
+    case 0:
+      return format("%lld", static_cast<long long>(R.range(-99, 99)));
+    case 1:
+      return pickVar();
+    case 2:
+      return format("ga[%s & 15]", pickVar().c_str());
+    default:
+      return "g0";
+    }
+  }
+  switch (R.below(10)) {
+  case 0:
+    return format("(%s + %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 1:
+    return format("(%s - %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 2:
+    return format("(%s * %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 3:
+    // Guarded division: divisor forced odd-positive.
+    return format("(%s / ((%s & 7) | 1))", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 4:
+    return format("(%s %% ((%s & 7) | 1))", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 5:
+    return format("(%s & %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 6:
+    return format("(%s | %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 7:
+    return format("(%s ^ %s)", expr(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str());
+  case 8:
+    return format("(%s ? %s : %s)", condition(MaxDepth - 1).c_str(),
+                  expr(MaxDepth - 1).c_str(), expr(MaxDepth - 1).c_str());
+  default:
+    // "(- x)" would tokenize as "--" when x is a negative literal.
+    return format("(0 - %s)", expr(MaxDepth - 1).c_str());
+  }
+}
+
+std::string Generator::condition(int MaxDepth) {
+  static const char *Rels[] = {"<", "<=", ">", ">=", "==", "!="};
+  if (MaxDepth <= 0 || R.chance(3, 5))
+    return format("(%s %s %s)", expr(MaxDepth - 1).c_str(),
+                  Rels[R.below(6)], expr(MaxDepth - 1).c_str());
+  switch (R.below(3)) {
+  case 0:
+    return format("(%s && %s)", condition(MaxDepth - 1).c_str(),
+                  condition(MaxDepth - 1).c_str());
+  case 1:
+    return format("(%s || %s)", condition(MaxDepth - 1).c_str(),
+                  condition(MaxDepth - 1).c_str());
+  default:
+    return format("(!%s)", condition(MaxDepth - 1).c_str());
+  }
+}
+
+void Generator::statement() {
+  if (Depth > 3) {
+    line(format("%s = %s;", pickVar().c_str(), expr(2).c_str()));
+    return;
+  }
+  ++Depth;
+  switch (R.below(12)) {
+  case 0: { // declaration
+    std::string V = freshVar();
+    line(format("int %s = %s;", V.c_str(), expr(2).c_str()));
+    Vars.push_back(V);
+    break;
+  }
+  case 1:
+  case 2: // plain assignment
+    line(format("%s = %s;", pickVar().c_str(), expr(3).c_str()));
+    break;
+  case 3: // compound assignment
+    line(format("%s += %s;", pickVar().c_str(), expr(2).c_str()));
+    break;
+  case 4: // array store
+    line(format("ga[%s & 15] = %s;", pickVar().c_str(), expr(2).c_str()));
+    break;
+  case 5: { // if / if-else
+    line(format("if (%s) {", condition(2).c_str()));
+    ++Indent;
+    block(static_cast<int>(R.range(1, 3)));
+    --Indent;
+    if (R.chance(1, 2)) {
+      line("} else {");
+      ++Indent;
+      block(static_cast<int>(R.range(1, 3)));
+      --Indent;
+    }
+    line("}");
+    break;
+  }
+  case 6: { // counted while loop
+    std::string LV = freshLoopVar();
+    int N = static_cast<int>(R.range(1, 8));
+    line(format("int %s = 0;", LV.c_str()));
+    line(format("while (%s < %d) {", LV.c_str(), N));
+    ++Indent;
+    bool SavedInLoop = InLoop;
+    InLoop = true;
+    block(static_cast<int>(R.range(1, 3)));
+    InLoop = SavedInLoop;
+    // Increment first: a "continue" below must not skip it, or the loop
+    // would never terminate.
+    line(format("%s++;", LV.c_str()));
+    if (R.chance(1, 4))
+      line(format("if (%s > %d) continue;", LV.c_str(),
+                  static_cast<int>(R.range(0, 6))));
+    --Indent;
+    line("}");
+    break;
+  }
+  case 7: { // counted for loop
+    std::string LV = freshLoopVar();
+    int N = static_cast<int>(R.range(1, 8));
+    line(format("int %s;", LV.c_str()));
+    line(format("for (%s = 0; %s < %d; %s++) {", LV.c_str(), LV.c_str(), N,
+                LV.c_str()));
+    ++Indent;
+    bool SavedInLoop = InLoop;
+    InLoop = true;
+    block(static_cast<int>(R.range(1, 3)));
+    if (R.chance(1, 4))
+      line("break;");
+    InLoop = SavedInLoop;
+    --Indent;
+    line("}");
+    break;
+  }
+  case 8: { // do-while (always bounded: runs exactly N times)
+    std::string LV = freshLoopVar();
+    int N = static_cast<int>(R.range(1, 6));
+    line(format("int %s = 0;", LV.c_str()));
+    line("do {");
+    ++Indent;
+    bool SavedInLoop = InLoop;
+    InLoop = true;
+    block(static_cast<int>(R.range(1, 2)));
+    InLoop = SavedInLoop;
+    line(format("%s++;", LV.c_str()));
+    --Indent;
+    line(format("} while (%s < %d);", LV.c_str(), N));
+    break;
+  }
+  case 9: { // switch
+    line(format("switch (%s & 7) {", pickVar().c_str()));
+    int Cases = static_cast<int>(R.range(2, 6));
+    for (int I = 0; I < Cases; ++I) {
+      line(format("case %d:", I));
+      ++Indent;
+      line(format("%s = %s;", pickVar().c_str(), expr(2).c_str()));
+      if (R.chance(3, 4))
+        line("break;");
+      --Indent;
+    }
+    line("default:");
+    ++Indent;
+    line(format("%s = %s;", pickVar().c_str(), expr(1).c_str()));
+    --Indent;
+    line("}");
+    break;
+  }
+  case 10: // output
+    line(format("printf(\"%%d \", %s);", expr(2).c_str()));
+    break;
+  default: // increment/decrement
+    line(format("%s%s;", pickVar().c_str(), R.chance(1, 2) ? "++" : "--"));
+    break;
+  }
+  --Depth;
+}
+
+void Generator::block(int Statements) {
+  size_t SavedVars = Vars.size();
+  for (int I = 0; I < Statements; ++I)
+    statement();
+  Vars.resize(SavedVars);
+}
+
+void Generator::function(int Index, int NumParams) {
+  Vars.clear();
+  std::string Sig = format("int f%d(", Index);
+  for (int I = 0; I < NumParams; ++I) {
+    if (I)
+      Sig += ", ";
+    std::string PName = format("p%d", I);
+    Sig += "int " + PName;
+    Vars.push_back(PName);
+  }
+  Sig += ") {";
+  line(Sig);
+  ++Indent;
+  block(static_cast<int>(R.range(2, 6)));
+  line(format("return %s;", expr(2).c_str()));
+  --Indent;
+  line("}");
+  line("");
+}
+
+std::string Generator::run() {
+  line("int g0 = 7;");
+  line("int g1;");
+  line("int ga[16];");
+  line("");
+  int NumFuncs = static_cast<int>(R.range(1, 3));
+  for (int I = 0; I < NumFuncs; ++I)
+    function(I, static_cast<int>(R.range(0, 3)));
+
+  Vars.clear();
+  line("int main() {");
+  ++Indent;
+  block(static_cast<int>(R.range(3, 8)));
+  // Call every function so their code is exercised. Every function takes
+  // at most three parameters; passing surplus arguments is harmless under
+  // the stack convention (the callee simply ignores them).
+  for (int I = 0; I < NumFuncs; ++I)
+    line(format("g1 += f%d(9, 4, 2);", I));
+  line("printf(\"end %d %d\", g0, g1);");
+  line("int k;");
+  line("for (k = 0; k < 16; k++) printf(\" %d\", ga[k]);");
+  line("return g1 & 127;");
+  --Indent;
+  line("}");
+  return Out;
+}
+
+} // namespace
+
+std::string tests::randomProgram(uint64_t Seed) {
+  Generator G(Seed);
+  return G.run();
+}

@@ -1,0 +1,29 @@
+//===- RandomProgram.h - Random MiniC program generator ---------*- C++ -*-===//
+//
+// Part of the coderep project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, terminating, well-defined MiniC programs for
+/// differential testing: the same program must produce identical output at
+/// every optimization level on every target. Loops are always counted over
+/// a dedicated variable the body never writes; divisions are guarded with
+/// "| 1"; array indices are masked into range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_TESTS_RANDOMPROGRAM_H
+#define CODEREP_TESTS_RANDOMPROGRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace coderep::tests {
+
+/// Returns the source of a random MiniC program for \p Seed.
+std::string randomProgram(uint64_t Seed);
+
+} // namespace coderep::tests
+
+#endif // CODEREP_TESTS_RANDOMPROGRAM_H

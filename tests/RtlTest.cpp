@@ -1,0 +1,160 @@
+//===- RtlTest.cpp - RTL IR unit tests ------------------------------------------===//
+
+#include "rtl/Insn.h"
+
+#include <gtest/gtest.h>
+
+using namespace coderep;
+using namespace coderep::rtl;
+
+namespace {
+
+TEST(Operand, Constructors) {
+  Operand R = Operand::reg(5);
+  EXPECT_TRUE(R.isReg());
+  EXPECT_TRUE(R.isRegNo(5));
+  EXPECT_FALSE(R.isRegNo(6));
+
+  Operand I = Operand::imm(-42);
+  EXPECT_TRUE(I.isImm());
+  EXPECT_EQ(I.Disp, -42);
+
+  Operand M = Operand::mem(RegFP, -8, 4);
+  EXPECT_TRUE(M.isMem());
+  EXPECT_EQ(M.Base, RegFP);
+  EXPECT_EQ(M.Disp, -8);
+  EXPECT_EQ(M.Size, 4);
+
+  Operand None;
+  EXPECT_TRUE(None.isNone());
+}
+
+TEST(Operand, Equality) {
+  EXPECT_EQ(Operand::reg(3), Operand::reg(3));
+  EXPECT_FALSE(Operand::reg(3) == Operand::reg(4));
+  EXPECT_FALSE(Operand::reg(3) == Operand::imm(3));
+  EXPECT_EQ(Operand::mem(1, 4, 4, 2, 4, -1), Operand::mem(1, 4, 4, 2, 4, -1));
+  EXPECT_FALSE(Operand::mem(1, 4, 4) == Operand::mem(1, 4, 1));
+  EXPECT_FALSE(Operand::mem(1, 4, 4, -1, 1, 0) ==
+               Operand::mem(1, 4, 4, -1, 1, 1));
+}
+
+TEST(Operand, VirtualRegPredicate) {
+  EXPECT_FALSE(isVirtualReg(RegSP));
+  EXPECT_FALSE(isVirtualReg(FirstAllocatable));
+  EXPECT_TRUE(isVirtualReg(FirstVirtual));
+  EXPECT_TRUE(isVirtualReg(FirstVirtual + 100));
+}
+
+TEST(CondCode, NegateIsInvolution) {
+  for (CondCode C : {CondCode::Eq, CondCode::Ne, CondCode::Lt, CondCode::Le,
+                     CondCode::Gt, CondCode::Ge})
+    EXPECT_EQ(negate(negate(C)), C);
+  EXPECT_EQ(negate(CondCode::Lt), CondCode::Ge);
+  EXPECT_EQ(negate(CondCode::Eq), CondCode::Ne);
+  EXPECT_EQ(negate(CondCode::Le), CondCode::Gt);
+}
+
+TEST(CondCode, SwapOperands) {
+  EXPECT_EQ(swapOperands(CondCode::Lt), CondCode::Gt);
+  EXPECT_EQ(swapOperands(CondCode::Ge), CondCode::Le);
+  EXPECT_EQ(swapOperands(CondCode::Eq), CondCode::Eq);
+  EXPECT_EQ(swapOperands(CondCode::Ne), CondCode::Ne);
+}
+
+TEST(Insn, DefinedReg) {
+  EXPECT_EQ(Insn::move(Operand::reg(7), Operand::imm(1)).definedReg(), 7);
+  EXPECT_EQ(Insn::move(Operand::mem(RegFP, 0, 4), Operand::reg(7))
+                .definedReg(),
+            -1);
+  EXPECT_EQ(Insn::compare(Operand::reg(7), Operand::imm(0)).definedReg(),
+            RegCC);
+  EXPECT_EQ(Insn::call(0).definedReg(), RegRV);
+  EXPECT_EQ(Insn::jump(3).definedReg(), -1);
+  EXPECT_EQ(Insn::lea(Operand::reg(9), Operand::mem(-1, 0, 4, -1, 1, 0))
+                .definedReg(),
+            9);
+}
+
+TEST(Insn, UsedRegs) {
+  std::vector<int> Used;
+  Insn::binary(Opcode::Add, Operand::reg(5), Operand::reg(6),
+               Operand::mem(7, 0, 4, 8, 4))
+      .appendUsedRegs(Used);
+  EXPECT_EQ(Used, (std::vector<int>{6, 7, 8}));
+
+  Used.clear();
+  Insn Store = Insn::move(Operand::mem(7, 0, 4), Operand::reg(5));
+  Store.appendUsedRegs(Used);
+  EXPECT_EQ(Used, (std::vector<int>{7, 5}));
+
+  Used.clear();
+  Insn::condJump(CondCode::Lt, 3).appendUsedRegs(Used);
+  EXPECT_EQ(Used, (std::vector<int>{RegCC}));
+
+  Used.clear();
+  Insn::ret().appendUsedRegs(Used);
+  EXPECT_EQ(Used, (std::vector<int>{RegRV, RegSP, RegFP}));
+}
+
+TEST(Insn, MemoryEffects) {
+  EXPECT_TRUE(Insn::move(Operand::mem(7, 0, 4), Operand::reg(5)).writesMem());
+  EXPECT_TRUE(Insn::move(Operand::reg(5), Operand::mem(7, 0, 4)).readsMem());
+  EXPECT_FALSE(
+      Insn::move(Operand::reg(5), Operand::mem(7, 0, 4)).writesMem());
+  // Lea forms an address but performs no access.
+  Insn Lea = Insn::lea(Operand::reg(5), Operand::mem(7, 8, 4));
+  EXPECT_FALSE(Lea.readsMem());
+  EXPECT_FALSE(Lea.writesMem());
+  // Calls conservatively do both.
+  EXPECT_TRUE(Insn::call(0).readsMem());
+  EXPECT_TRUE(Insn::call(0).writesMem());
+}
+
+TEST(Insn, StackPointerUpdatesAreSideEffects) {
+  EXPECT_TRUE(Insn::binary(Opcode::Sub, Operand::reg(RegSP),
+                           Operand::reg(RegSP), Operand::imm(8))
+                  .hasSideEffects());
+  EXPECT_TRUE(
+      Insn::move(Operand::reg(RegFP), Operand::reg(RegSP)).hasSideEffects());
+  EXPECT_FALSE(Insn::binary(Opcode::Add, Operand::reg(FirstVirtual),
+                            Operand::reg(FirstVirtual), Operand::imm(1))
+                   .hasSideEffects());
+}
+
+TEST(Insn, RenameUsesAndDefs) {
+  Insn I = Insn::binary(Opcode::Add, Operand::reg(5), Operand::reg(5),
+                        Operand::mem(5, 0, 4));
+  I.renameUses(5, 9);
+  // The definition keeps its register; uses (including the address base)
+  // are renamed.
+  EXPECT_EQ(I.Dst.Base, 5);
+  EXPECT_EQ(I.Src1.Base, 9);
+  EXPECT_EQ(I.Src2.Base, 9);
+  I.renameDef(5, 9);
+  EXPECT_EQ(I.Dst.Base, 9);
+}
+
+TEST(Insn, TransferPredicates) {
+  EXPECT_TRUE(Insn::jump(0).isUnconditionalTransfer());
+  EXPECT_TRUE(Insn::ret().isUnconditionalTransfer());
+  EXPECT_FALSE(Insn::condJump(CondCode::Eq, 0).isUnconditionalTransfer());
+  EXPECT_TRUE(Insn::condJump(CondCode::Eq, 0).isTransfer());
+  EXPECT_FALSE(Insn::call(0).isTransfer()); // control returns
+  EXPECT_TRUE(
+      Insn::switchJump(Operand::reg(5), {1, 2}).isUnconditionalTransfer());
+}
+
+TEST(Insn, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(toString(Insn::jump(15)), "PC=L15;");
+  EXPECT_EQ(toString(Insn::ret()), "PC=RT;");
+  EXPECT_EQ(toString(Insn::condJump(CondCode::Ge, 16)), "PC=NZ>=0,L16;");
+  EXPECT_EQ(toString(Insn::compare(Operand::reg(FirstVirtual),
+                                   Operand::imm(5))),
+            "NZ=v[0]?5;");
+  Insn ByteMove = Insn::move(Operand::mem(4, 0, 1),
+                             Operand::mem(4, 1, 1));
+  EXPECT_EQ(toString(ByteMove), "B[r[4]]=B[r[4]+1];");
+}
+
+} // namespace

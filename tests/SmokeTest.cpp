@@ -1,0 +1,187 @@
+//===- SmokeTest.cpp - End-to-end pipeline smoke tests -------------------------===//
+//
+// Compiles and runs small MiniC programs at every optimization level on
+// both targets, checking output and exit codes. If these fail, nothing
+// else is trustworthy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace coderep;
+using namespace coderep::driver;
+
+namespace {
+
+struct Config {
+  target::TargetKind TK;
+  opt::OptLevel Level;
+};
+
+class SmokeTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SmokeTest, ReturnsConstant) {
+  ease::RunResult R = compileAndRun("int main() { return 42; }",
+                                    GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST_P(SmokeTest, WhileLoopSum) {
+  const char *Src = R"(
+    int main() {
+      int i, sum;
+      sum = 0;
+      i = 1;
+      while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST_P(SmokeTest, ForLoopArray) {
+  const char *Src = R"(
+    int a[10];
+    int main() {
+      int i, sum;
+      for (i = 0; i < 10; i++)
+        a[i] = i * i;
+      sum = 0;
+      for (i = 0; i < 10; i++)
+        sum += a[i];
+      return sum;
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 285);
+}
+
+TEST_P(SmokeTest, IfElseAndOutput) {
+  const char *Src = R"(
+    int classify(int x) {
+      if (x > 5)
+        return x / 2;
+      else
+        return x * 3;
+    }
+    int main() {
+      printf("%d %d\n", classify(10), classify(3));
+      return 0;
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, "5 9\n");
+}
+
+TEST_P(SmokeTest, RecursionAndStrings) {
+  const char *Src = R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    char msg[32];
+    int main() {
+      strcpy(msg, "fib");
+      printf("%s(%d)=%d\n", msg, 10, fib(10));
+      return strlen(msg);
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, "fib(10)=55\n");
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST_P(SmokeTest, GetcharEcho) {
+  const char *Src = R"(
+    int main() {
+      int c, n;
+      n = 0;
+      while ((c = getchar()) != -1) {
+        putchar(c);
+        n++;
+      }
+      return n;
+    }
+  )";
+  ease::RunResult R =
+      compileAndRun(Src, GetParam().TK, GetParam().Level, "hello");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.Output, "hello");
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST_P(SmokeTest, SwitchDense) {
+  const char *Src = R"(
+    int name(int d) {
+      switch (d) {
+      case 0: return 100;
+      case 1: return 101;
+      case 2: return 102;
+      case 3: return 103;
+      case 4: return 104;
+      case 5: return 105;
+      default: return -1;
+      }
+    }
+    int main() {
+      return name(3) - name(0) + name(9);
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST_P(SmokeTest, GotoMidLoopExit) {
+  // Table 1's shape: the exit condition in the middle of a loop.
+  const char *Src = R"(
+    int x[64];
+    int n;
+    int main() {
+      int i;
+      n = 20;
+      for (i = 0; i < 64; i++)
+        x[i] = i;
+      i = 1;
+      do {
+        if (i >= n)
+          goto done;
+        x[i - 1] = x[i];
+        i++;
+      } while (1);
+    done:
+      return x[0] + x[18];
+    }
+  )";
+  ease::RunResult R = compileAndRun(Src, GetParam().TK, GetParam().Level);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 1 + 19);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SmokeTest,
+    ::testing::Values(Config{target::TargetKind::M68, opt::OptLevel::Simple},
+                      Config{target::TargetKind::M68, opt::OptLevel::Loops},
+                      Config{target::TargetKind::M68, opt::OptLevel::Jumps},
+                      Config{target::TargetKind::Sparc, opt::OptLevel::Simple},
+                      Config{target::TargetKind::Sparc, opt::OptLevel::Loops},
+                      Config{target::TargetKind::Sparc, opt::OptLevel::Jumps}),
+    [](const ::testing::TestParamInfo<Config> &Info) {
+      std::string Name =
+          Info.param.TK == target::TargetKind::M68 ? "M68" : "Sparc";
+      Name += coderep::opt::optLevelName(Info.param.Level);
+      return Name;
+    });
+
+} // namespace

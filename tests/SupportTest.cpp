@@ -1,0 +1,106 @@
+//===- SupportTest.cpp - Support library unit tests --------------------------------===//
+
+#include "support/BitVec.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace coderep;
+
+namespace {
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("%d-%s-%02x", 42, "ab", 7), "42-ab-07");
+  EXPECT_EQ(format("empty"), "empty");
+  // Long outputs are not truncated.
+  std::string Long = format("%0200d", 1);
+  EXPECT_EQ(Long.size(), 200u);
+}
+
+TEST(Format, SignedPercent) {
+  EXPECT_EQ(signedPercent(3.456), "+3.46%");
+  EXPECT_EQ(signedPercent(-0.004), "-0.00%");
+  EXPECT_EQ(signedPercent(0), "+0.00%");
+}
+
+TEST(Format, PercentChange) {
+  EXPECT_EQ(percentChange(150, 100), "+50.00%");
+  EXPECT_EQ(percentChange(94, 100), "-6.00%");
+  EXPECT_EQ(percentChange(5, 0), "n/a");
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable T;
+  T.addRow({"a", "bbbb"});
+  T.addSeparator();
+  T.addRow({"cccc", "d"});
+  std::string Out = T.render();
+  EXPECT_EQ(Out, "a     bbbb\n"
+                 "------------\n"
+                 "cccc  d\n");
+}
+
+TEST(BitVec, SetResetTest) {
+  BitVec V(130);
+  EXPECT_FALSE(V.any());
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(63));
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_TRUE(V.any());
+}
+
+TEST(BitVec, UnionReportsChange) {
+  BitVec A(100), B(100);
+  B.set(7);
+  B.set(70);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_FALSE(A.unionWith(B)); // second time: no change
+  EXPECT_TRUE(A.test(7) && A.test(70));
+}
+
+TEST(BitVec, SubtractAndEquality) {
+  BitVec A(100), B(100);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  A.subtract(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+  BitVec C(100);
+  C.set(1);
+  EXPECT_TRUE(A == C);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(99);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.range(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 9u); // all values hit
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+} // namespace
