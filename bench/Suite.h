@@ -48,6 +48,11 @@ struct MeasuredRun {
   std::vector<cache::CacheStats> Caches; ///< parallel to the config list
   std::string Output;
   int DelaySlotNops = 0; ///< static Nops the delay-slot filler emitted
+
+  /// Wall-clock spent in driver::compile for this run.
+  int64_t CompileMicros = 0;
+  /// Per-pass optimizer timings and counters for this compile.
+  opt::PipelineStats Pipeline;
 };
 
 /// Compiles \p BP for \p TK at \p Level, runs it, and (when \p CacheConfigs
@@ -57,6 +62,23 @@ MeasuredRun measure(const BenchProgram &BP, target::TargetKind TK,
                     opt::OptLevel Level,
                     const std::vector<cache::CacheConfig> &CacheConfigs = {},
                     const opt::PipelineOptions *Override = nullptr);
+
+/// One element of a measurement batch: measure() arguments by value.
+struct MeasureRequest {
+  const BenchProgram *Program = nullptr;
+  target::TargetKind Target = target::TargetKind::M68;
+  opt::OptLevel Level = opt::OptLevel::Simple;
+  std::vector<cache::CacheConfig> CacheConfigs;
+  const opt::PipelineOptions *Override = nullptr;
+};
+
+/// Runs every request through measure() on a shared thread pool (each
+/// (program, target, level) triple is an independent compile+run) and
+/// returns the results in request order, so reports reduced from the batch
+/// are deterministic regardless of worker count or scheduling.
+/// \p Threads: 0 = hardware concurrency.
+std::vector<MeasuredRun> measureAll(const std::vector<MeasureRequest> &Requests,
+                                    unsigned Threads = 0);
 
 /// The paper's four cache sizes.
 inline std::vector<uint32_t> paperCacheSizes() {

@@ -33,14 +33,24 @@ int main() {
                   "dynamic SIMPLE", "LOOPS", "JUMPS"});
     Table.addSeparator();
 
+    // Fan the 14 x 3 independent compile+run measurements out across the
+    // thread pool; results come back in request order, so the reduction
+    // below stays in Table-5 order.
+    std::vector<MeasureRequest> Requests;
+    for (const BenchProgram &BP : suite())
+      for (opt::OptLevel Level : {opt::OptLevel::Simple, opt::OptLevel::Loops,
+                                  opt::OptLevel::Jumps})
+        Requests.push_back({&BP, TK, Level, {}, nullptr});
+    std::vector<MeasuredRun> Runs = measureAll(Requests);
+
     double StatL = 0, StatJ = 0, DynL = 0, DynJ = 0;
     long long StatSimpleSum = 0;
     unsigned long long DynSimpleSum = 0;
     int N = 0;
     for (const BenchProgram &BP : suite()) {
-      MeasuredRun S = measure(BP, TK, opt::OptLevel::Simple);
-      MeasuredRun L = measure(BP, TK, opt::OptLevel::Loops);
-      MeasuredRun J = measure(BP, TK, opt::OptLevel::Jumps);
+      MeasuredRun &S = Runs[static_cast<size_t>(N) * 3];
+      MeasuredRun &L = Runs[static_cast<size_t>(N) * 3 + 1];
+      MeasuredRun &J = Runs[static_cast<size_t>(N) * 3 + 2];
       double SL = 100.0 * (L.Static.Instructions - S.Static.Instructions) /
                   S.Static.Instructions;
       double SJ = 100.0 * (J.Static.Instructions - S.Static.Instructions) /

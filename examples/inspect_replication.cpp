@@ -97,5 +97,25 @@ int main() {
     if (F.block(B)->endsWithJump())
       ++Jumps;
   std::printf("\nremaining unconditional jumps: %d\n", Jumps);
+
+  // Where the compile time goes: run the full JUMPS pipeline on the same
+  // source and print the per-phase timings the driver records.
+  driver::Compilation C =
+      driver::compile(Source, target::TargetKind::Sparc, opt::OptLevel::Jumps);
+  if (!C.ok()) {
+    std::fprintf(stderr, "error: %s\n", C.Error.c_str());
+    return 1;
+  }
+  std::printf("\n=== pipeline phase timings (JUMPS, sparc) ===\n");
+  for (int I = 0; I < opt::NumPhases; ++I)
+    std::printf("  %-28s %6lld us\n",
+                opt::phaseName(static_cast<opt::Phase>(I)),
+                static_cast<long long>(C.Pipeline.PhaseMicros[I]));
+  std::printf("  %-28s %6lld us\n", "total",
+              static_cast<long long>(C.Pipeline.totalMicros()));
+  std::printf("shortest-path matrix cache: %d hits, %d misses over %d "
+              "fixpoint iterations\n",
+              C.Pipeline.SpCacheHits, C.Pipeline.SpCacheMisses,
+              C.Pipeline.FixpointIterations);
   return 0;
 }

@@ -1,7 +1,27 @@
 #!/bin/sh
 # Regenerates every paper table/figure; used to produce bench_output.txt.
+# Also runs the compile-throughput benchmark, which writes BENCH_compile.json.
 set -e
 cd "$(dirname "$0")"
+
+# Refuse to produce a partial report: every bench binary must exist.
+ALL_BENCHES="table1_loop_exit table2_if_then_else fig1_natural_loops \
+         fig2_overlap fig3_phase_order table4_jump_fraction \
+         table5_instructions table6_cache sec52_branch_stats \
+         ablation_heuristics ablation_length_cap bench_compile \
+         micro_algorithms"
+MISSING=""
+for b in $ALL_BENCHES; do
+  if [ ! -x "./build/bench/$b" ]; then
+    MISSING="$MISSING $b"
+  fi
+done
+if [ -n "$MISSING" ]; then
+  echo "error: missing bench binaries:$MISSING" >&2
+  echo "build them first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
 for b in table1_loop_exit table2_if_then_else fig1_natural_loops \
          fig2_overlap fig3_phase_order table4_jump_fraction \
          table5_instructions table6_cache sec52_branch_stats \
@@ -10,5 +30,8 @@ for b in table1_loop_exit table2_if_then_else fig1_natural_loops \
   ./build/bench/$b
   echo
 done
+echo "##### bench/bench_compile #####"
+./build/bench/bench_compile BENCH_compile.json
+echo
 echo "##### bench/micro_algorithms #####"
-./build/bench/micro_algorithms --benchmark_min_time=0.05s
+./build/bench/micro_algorithms --benchmark_min_time=0.05

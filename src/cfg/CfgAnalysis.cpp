@@ -2,10 +2,10 @@
 
 #include "cfg/CfgAnalysis.h"
 
+#include "cfg/FlatCfg.h"
 #include "support/Check.h"
 
 #include <algorithm>
-#include <set>
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -17,11 +17,12 @@ std::vector<bool> cfg::reachableBlocks(const Function &F) {
   while (!Stack.empty()) {
     int B = Stack.back();
     Stack.pop_back();
-    for (int S : F.successors(B))
+    F.forEachSuccessor(B, [&](int S) {
       if (!Seen[S]) {
         Seen[S] = true;
         Stack.push_back(S);
       }
+    });
   }
   return Seen;
 }
@@ -37,18 +38,20 @@ int cfg::removeUnreachableBlocks(Function &F) {
   return Removed;
 }
 
-std::vector<int> cfg::reversePostorder(const Function &F) {
+/// Reverse postorder over \p Flat (entry first), visiting successors in
+/// edge order exactly as the Function-based overload always did.
+static std::vector<int> reversePostorderFlat(const FlatCfg &Flat) {
   std::vector<int> Post;
-  std::vector<int> State(F.size(), 0); // 0 unseen, 1 on stack, 2 done
+  std::vector<int> State(Flat.size(), 0); // 0 unseen, 1 on stack, 2 done
   // Iterative DFS with an explicit stack of (node, next-successor) pairs.
   std::vector<std::pair<int, int>> Stack;
   Stack.push_back({0, 0});
   State[0] = 1;
   while (!Stack.empty()) {
     auto &[Node, NextIdx] = Stack.back();
-    std::vector<int> Succs = F.successors(Node);
-    if (NextIdx < static_cast<int>(Succs.size())) {
-      int S = Succs[NextIdx++];
+    FlatCfg::Range Succs = Flat.succs(Node);
+    if (NextIdx < Succs.size()) {
+      int S = Succs.begin()[NextIdx++];
       if (State[S] == 0) {
         State[S] = 1;
         Stack.push_back({S, 0});
@@ -63,12 +66,18 @@ std::vector<int> cfg::reversePostorder(const Function &F) {
   return Post;
 }
 
-Dominators::Dominators(const Function &F) : Idom(F.size(), -1) {
-  std::vector<int> Rpo = reversePostorder(F);
-  std::vector<int> RpoNumber(F.size(), -1);
+std::vector<int> cfg::reversePostorder(const Function &F) {
+  return reversePostorderFlat(FlatCfg(F));
+}
+
+/// Shared engine for Dominators: Cooper/Harvey/Kennedy over the RPO of
+/// \p Flat.
+static std::vector<int> computeIdom(const FlatCfg &Flat,
+                                    const std::vector<int> &Rpo) {
+  std::vector<int> Idom(Flat.size(), -1);
+  std::vector<int> RpoNumber(Flat.size(), -1);
   for (size_t I = 0; I < Rpo.size(); ++I)
     RpoNumber[Rpo[I]] = static_cast<int>(I);
-  std::vector<std::vector<int>> Preds = F.predecessors();
 
   auto intersect = [&](int A, int B) {
     while (A != B) {
@@ -88,7 +97,7 @@ Dominators::Dominators(const Function &F) : Idom(F.size(), -1) {
       if (B == 0)
         continue;
       int NewIdom = -1;
-      for (int P : Preds[B]) {
+      for (int P : Flat.preds(B)) {
         if (RpoNumber[P] < 0 || Idom[P] < 0)
           continue; // unreachable or not yet processed
         NewIdom = NewIdom < 0 ? P : intersect(P, NewIdom);
@@ -100,6 +109,12 @@ Dominators::Dominators(const Function &F) : Idom(F.size(), -1) {
     }
   }
   Idom[0] = -1; // the entry has no immediate dominator
+  return Idom;
+}
+
+Dominators::Dominators(const Function &F) {
+  FlatCfg Flat(F);
+  Idom = computeIdom(Flat, reversePostorderFlat(Flat));
 }
 
 bool Dominators::dominates(int A, int B) const {
@@ -121,39 +136,64 @@ bool NaturalLoop::contains(int Index) const {
 }
 
 LoopInfo::LoopInfo(const Function &F) {
-  Dominators Dom(F);
-  std::vector<bool> Reachable = reachableBlocks(F);
-  std::vector<std::vector<int>> Preds = F.predecessors();
+  FlatCfg Flat(F);
+  std::vector<int> Rpo = reversePostorderFlat(Flat);
+  std::vector<int> Idom = computeIdom(Flat, Rpo);
+  // Reachability falls out of the RPO walk: unreachable blocks are the
+  // ones the DFS never numbered.
+  std::vector<bool> Reachable(F.size(), false);
+  for (int B : Rpo)
+    Reachable[B] = true;
+
+  auto dominates = [&](int A, int B) {
+    // B is known reachable here.
+    while (true) {
+      if (A == B)
+        return true;
+      if (B == 0)
+        return false;
+      B = Idom[B];
+      if (B < 0)
+        return false;
+    }
+  };
 
   // Collect back edges grouped by header.
   std::vector<std::vector<int>> BackEdgeSources(F.size());
   for (int B = 0; B < F.size(); ++B) {
     if (!Reachable[B])
       continue;
-    for (int S : F.successors(B))
-      if (Dom.dominates(S, B))
+    for (int S : Flat.succs(B))
+      if (dominates(S, B))
         BackEdgeSources[S].push_back(B);
   }
 
+  std::vector<bool> InBody(F.size(), false);
   for (int H = 0; H < F.size(); ++H) {
     if (BackEdgeSources[H].empty())
       continue;
     // Standard natural-loop body computation: walk predecessors backwards
     // from every back-edge source until the header is reached.
-    std::set<int> Body = {H};
+    std::vector<int> Body = {H};
+    InBody[H] = true;
     std::vector<int> Work = BackEdgeSources[H];
     while (!Work.empty()) {
       int B = Work.back();
       Work.pop_back();
-      if (!Body.insert(B).second)
+      if (InBody[B])
         continue;
-      for (int P : Preds[B])
+      InBody[B] = true;
+      Body.push_back(B);
+      for (int P : Flat.preds(B))
         if (Reachable[P])
           Work.push_back(P);
     }
+    std::sort(Body.begin(), Body.end());
+    for (int B : Body)
+      InBody[B] = false; // reset for the next header
     NaturalLoop L;
     L.Header = H;
-    L.Blocks.assign(Body.begin(), Body.end());
+    L.Blocks = std::move(Body);
     Loops.push_back(std::move(L));
   }
 }
@@ -175,49 +215,66 @@ const NaturalLoop *LoopInfo::innermostLoopContaining(int Index) const {
 }
 
 bool cfg::isReducible(const Function &F) {
-  std::vector<bool> Reachable = reachableBlocks(F);
-  // Successor sets over reachable blocks only, with merged-node tracking.
-  int N = F.size();
-  std::vector<std::set<int>> Succ(N), Pred(N);
-  std::vector<bool> Alive(N, false);
-  int AliveCount = 0;
-  for (int B = 0; B < N; ++B) {
-    if (!Reachable[B])
-      continue;
-    Alive[B] = true;
-    ++AliveCount;
-    for (int S : F.successors(B)) {
-      if (S == B)
-        continue; // T1 applied eagerly
-      Succ[B].insert(S);
-      Pred[S].insert(B);
+  // Classic characterization (equivalent to collapsing with T1/T2): a flow
+  // graph is reducible iff deleting every back edge - an edge u->h whose
+  // target dominates its source - leaves an acyclic graph. The T1/T2
+  // formulation collapses the same graphs; this one runs on flat arrays in
+  // near-linear time, which matters because JUMPS step 6 calls it after
+  // every attempted replication.
+  FlatCfg Flat(F);
+  std::vector<int> Rpo = reversePostorderFlat(Flat);
+  std::vector<int> Idom = computeIdom(Flat, Rpo);
+  std::vector<int> RpoNumber(F.size(), -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = static_cast<int>(I);
+
+  auto dominates = [&](int A, int B) {
+    if (B != 0 && Idom[B] < 0)
+      return false;
+    while (true) {
+      if (A == B)
+        return true;
+      if (B == 0)
+        return false;
+      B = Idom[B];
+      if (B < 0)
+        return false;
     }
-  }
-  // Repeatedly apply T2: merge a non-entry node with a unique predecessor
-  // into that predecessor, applying T1 (self-loop removal) as merges create
-  // self-loops. Reducible iff the graph collapses to the entry alone.
-  bool Changed = true;
-  while (Changed && AliveCount > 1) {
-    Changed = false;
-    for (int B = 0; B < N; ++B) {
-      if (!Alive[B] || B == 0 || Pred[B].size() != 1)
-        continue;
-      int P = *Pred[B].begin();
-      // Merge B into P.
-      for (int S : Succ[B]) {
-        Pred[S].erase(B);
-        if (S != P) { // T1: drop the would-be self loop P->P
-          Succ[P].insert(S);
-          Pred[S].insert(P);
+  };
+
+  // DFS cycle check over the forward (non-back) edges of the reachable
+  // subgraph, in RPO so most edges go forward immediately.
+  enum : uint8_t { White, Grey, Black };
+  std::vector<uint8_t> Color(F.size(), White);
+  std::vector<std::pair<int, int>> Stack;
+  for (int Root : Rpo) {
+    if (Color[Root] != White)
+      continue;
+    Stack.push_back({Root, 0});
+    Color[Root] = Grey;
+    while (!Stack.empty()) {
+      auto &[Node, NextIdx] = Stack.back();
+      FlatCfg::Range Succs = Flat.succs(Node);
+      bool Descended = false;
+      while (NextIdx < Succs.size()) {
+        int S = Succs.begin()[NextIdx++];
+        if (S == Node || dominates(S, Node))
+          continue; // self-loop or natural back edge: deleted
+        if (Color[S] == Grey)
+          return false; // cycle without a dominating header
+        if (Color[S] == White) {
+          Color[S] = Grey;
+          Stack.push_back({S, 0});
+          Descended = true;
+          break;
         }
       }
-      Succ[P].erase(B);
-      Succ[B].clear();
-      Pred[B].clear();
-      Alive[B] = false;
-      --AliveCount;
-      Changed = true;
+      if (!Descended && !Stack.empty() && Stack.back().first == Node &&
+          NextIdx >= Succs.size()) {
+        Color[Node] = Black;
+        Stack.pop_back();
+      }
     }
   }
-  return AliveCount == 1;
+  return true;
 }

@@ -75,10 +75,12 @@ private:
   std::vector<NaturalLoop> Loops;
 };
 
-/// True if the reachable flow graph is reducible, decided by repeated
-/// T1 (self-loop removal) / T2 (unique-predecessor merge) transformations:
-/// a graph is reducible iff it collapses to a single node. JUMPS step 6
-/// rolls a replication back when this fails.
+/// True if the reachable flow graph is reducible: deleting every natural
+/// back edge (an edge u->h whose target dominates its source) must leave
+/// an acyclic graph. This is equivalent to the graph collapsing to a single
+/// node under repeated T1 (self-loop removal) / T2 (unique-predecessor
+/// merge) transformations, but runs in near-linear time. JUMPS step 6 rolls
+/// a replication back when this fails.
 bool isReducible(const Function &F);
 
 } // namespace coderep::cfg

@@ -1,0 +1,94 @@
+//===- FlatCfg.h - Flat adjacency snapshot of a Function --------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compressed-sparse-row snapshot of a function's flow graph. The
+/// iterative analyses (liveness, dominators, loops) walk every edge many
+/// times per fixpoint; Function::successors() materializes a std::vector
+/// per call, which dominated their profile. FlatCfg pays the label lookups
+/// once and serves successor/predecessor ranges out of two flat arrays.
+/// Like every positional-index analysis it must be rebuilt after any
+/// structural change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CFG_FLATCFG_H
+#define CODEREP_CFG_FLATCFG_H
+
+#include "cfg/Function.h"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace coderep::cfg {
+
+/// Successor and predecessor lists in CSR layout.
+class FlatCfg {
+public:
+  /// A contiguous range of block indices, iterable with range-for.
+  struct Range {
+    const int32_t *First;
+    const int32_t *Last;
+    const int32_t *begin() const { return First; }
+    const int32_t *end() const { return Last; }
+    int size() const { return static_cast<int>(Last - First); }
+    bool empty() const { return First == Last; }
+  };
+
+  explicit FlatCfg(const Function &F) : N(F.size()) {
+    SuccBegin.assign(N + 1, 0);
+    PredBegin.assign(N + 2, 0);
+    for (int U = 0; U < N; ++U)
+      F.forEachSuccessor(U, [&](int V) {
+        ++SuccBegin[U + 1];
+        ++PredBegin[V + 2];
+      });
+    for (int U = 0; U < N; ++U)
+      SuccBegin[U + 1] += SuccBegin[U];
+    for (int V = 0; V + 2 <= N + 1; ++V)
+      PredBegin[V + 2] += PredBegin[V + 1];
+    SuccData.resize(SuccBegin[N]);
+    PredData.resize(SuccBegin[N]);
+    // PredBegin is shifted one slot right so the fill pass below can use
+    // PredBegin[V + 1] as a running cursor that lands on the final
+    // offsets.
+    for (int U = 0; U < N; ++U) {
+      int32_t Cursor = SuccBegin[U];
+      F.forEachSuccessor(U, [&](int V) {
+        SuccData[Cursor++] = static_cast<int32_t>(V);
+        PredData[PredBegin[V + 1]++] = static_cast<int32_t>(U);
+      });
+    }
+  }
+
+  int size() const { return N; }
+
+  /// Successors of \p U, in Function::successors() order.
+  Range succs(int U) const {
+    return {SuccData.data() + SuccBegin[U], SuccData.data() + SuccBegin[U + 1]};
+  }
+
+  /// Predecessors of \p U, ordered by ascending source block.
+  Range preds(int U) const {
+    return {PredData.data() + PredBegin[U], PredData.data() + PredBegin[U + 1]};
+  }
+
+  /// Total number of edges.
+  int numEdges() const { return SuccBegin[N]; }
+
+private:
+  int N;
+  std::vector<int32_t> SuccBegin;
+  std::vector<int32_t> SuccData;
+  std::vector<int32_t> PredBegin;
+  std::vector<int32_t> PredData;
+};
+
+} // namespace coderep::cfg
+
+#endif // CODEREP_CFG_FLATCFG_H

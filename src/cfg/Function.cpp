@@ -51,36 +51,7 @@ int Function::indexOfLabel(int Label) const {
 
 std::vector<int> Function::successors(int Index) const {
   std::vector<int> Out;
-  const BasicBlock *B = block(Index);
-  const rtl::Insn *T = B->terminator();
-  auto addLabel = [&](int Label) {
-    int Idx = indexOfLabel(Label);
-    CODEREP_CHECK(Idx >= 0, "branch to unknown label");
-    Out.push_back(Idx);
-  };
-  if (!T) {
-    if (Index + 1 < size())
-      Out.push_back(Index + 1);
-    return Out;
-  }
-  switch (T->Op) {
-  case rtl::Opcode::CondJump:
-    CODEREP_CHECK(Index + 1 < size(), "conditional branch falls off the end");
-    Out.push_back(Index + 1);
-    addLabel(T->Target);
-    break;
-  case rtl::Opcode::Jump:
-    addLabel(T->Target);
-    break;
-  case rtl::Opcode::SwitchJump:
-    for (int Label : T->Table)
-      addLabel(Label);
-    break;
-  case rtl::Opcode::Return:
-    break;
-  default:
-    CODEREP_UNREACHABLE("non-transfer terminator");
-  }
+  forEachSuccessor(Index, [&](int S) { Out.push_back(S); });
   return Out;
 }
 
@@ -151,8 +122,9 @@ void Function::verify() const {
       if (J + 1 != B->Insns.size())
         CODEREP_CHECK(!Insn.isTransfer(), "transfer in the middle of a block");
     }
-    // successors() checks target resolvability and fall-through legality.
-    (void)successors(I);
+    // forEachSuccessor checks target resolvability and fall-through
+    // legality as it walks.
+    forEachSuccessor(I, [](int) {});
     if (B->DelaySlot)
       CODEREP_CHECK(!B->DelaySlot->isTransfer(), "transfer in delay slot");
   }

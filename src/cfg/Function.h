@@ -18,6 +18,7 @@
 #define CODEREP_CFG_FUNCTION_H
 
 #include "cfg/BasicBlock.h"
+#include "support/Check.h"
 
 #include <memory>
 #include <string>
@@ -78,6 +79,20 @@ public:
   /// blocks, then explicit targets.
   std::vector<int> successors(int Index) const;
 
+  /// Allocation-free variant: invokes \p Visit with each successor index,
+  /// in the same order as successors(). For analyses that walk the whole
+  /// graph repeatedly (liveness, shortest paths), prefer building a
+  /// FlatCfg snapshot once instead.
+  template <typename Fn> void forEachSuccessor(int Index, Fn &&Visit) const;
+
+  /// Monotonic counter bumped by every block-list mutation (append,
+  /// insert, erase, adopt, normalize). Analyses may record it to assert
+  /// the block *sequence* they were built over is unchanged. It does NOT
+  /// observe in-place edits to BasicBlock::Insns - passes rewrite those
+  /// directly - so caches keyed on flow-graph shape must also check a
+  /// structural fingerprint (see replicate::ShortestPaths::fingerprint).
+  uint64_t cfgVersion() const { return Version; }
+
   /// Predecessor lists for every block.
   std::vector<std::vector<int>> predecessors() const;
 
@@ -108,10 +123,49 @@ private:
   int NextLabel = 0;
   int NextVReg = rtl::FirstVirtual;
 
+  uint64_t Version = 0;
+
   mutable std::unordered_map<int, int> LabelCache;
   mutable bool LabelCacheValid = false;
-  void invalidateLabelCache() { LabelCacheValid = false; }
+  void invalidateLabelCache() {
+    LabelCacheValid = false;
+    ++Version;
+  }
 };
+
+template <typename Fn>
+void Function::forEachSuccessor(int Index, Fn &&Visit) const {
+  const BasicBlock *B = block(Index);
+  const rtl::Insn *T = B->terminator();
+  auto visitLabel = [&](int Label) {
+    int Idx = indexOfLabel(Label);
+    CODEREP_CHECK(Idx >= 0, "branch to unknown label");
+    Visit(Idx);
+  };
+  if (!T) {
+    if (Index + 1 < size())
+      Visit(Index + 1);
+    return;
+  }
+  switch (T->Op) {
+  case rtl::Opcode::CondJump:
+    CODEREP_CHECK(Index + 1 < size(), "conditional branch falls off the end");
+    Visit(Index + 1);
+    visitLabel(T->Target);
+    break;
+  case rtl::Opcode::Jump:
+    visitLabel(T->Target);
+    break;
+  case rtl::Opcode::SwitchJump:
+    for (int Label : T->Table)
+      visitLabel(Label);
+    break;
+  case rtl::Opcode::Return:
+    break;
+  default:
+    CODEREP_UNREACHABLE("non-transfer terminator");
+  }
+}
 
 /// A global datum. Globals are laid out contiguously by the interpreter;
 /// memory operands reference them by symbol id.

@@ -102,28 +102,33 @@ bool opt::runBlockReorder(Function &F) {
 }
 
 bool opt::runMergeFallthroughs(Function &F) {
+  int N = F.size();
+  if (N <= 1)
+    return false;
+  std::vector<int> PredCount(N, 0);
+  for (int I = 0; I < N; ++I)
+    F.forEachSuccessor(I, [&](int S) { ++PredCount[S]; });
+  // A block without a terminator falls through, so when its positional
+  // successor has exactly one predecessor that predecessor is the block
+  // itself and the pair always merges. Merging never changes any other
+  // block's terminator or predecessor count, so a single right-to-left
+  // sweep reaches the same fixpoint as re-deriving predecessor lists after
+  // every merge; processing high indices first keeps PredCount (indexed by
+  // original position) valid for the pairs still to come.
   bool Changed = false;
-  bool LocalChange = true;
-  while (LocalChange) {
-    LocalChange = false;
-    std::vector<std::vector<int>> Preds = F.predecessors();
-    for (int I = 0; I + 1 < F.size(); ++I) {
-      BasicBlock *B = F.block(I);
-      if (B->terminator())
-        continue; // only plain fall-through blocks are merge heads
-      BasicBlock *Next = F.block(I + 1);
-      if (Preds[I + 1].size() != 1)
-        continue;
-      CODEREP_CHECK(Preds[I + 1][0] == I, "fallthrough pred mismatch");
-      CODEREP_CHECK(!B->DelaySlot && !Next->DelaySlot,
-                    "merging after delay-slot filling");
-      for (Insn &X : Next->Insns)
-        B->Insns.push_back(std::move(X));
-      F.eraseBlock(I + 1);
-      Changed = true;
-      LocalChange = true;
-      break; // predecessor lists are stale; recompute
-    }
+  for (int I = N - 2; I >= 0; --I) {
+    BasicBlock *B = F.block(I);
+    if (B->terminator())
+      continue; // only plain fall-through blocks are merge heads
+    if (PredCount[I + 1] != 1)
+      continue;
+    BasicBlock *Next = F.block(I + 1);
+    CODEREP_CHECK(!B->DelaySlot && !Next->DelaySlot,
+                  "merging after delay-slot filling");
+    for (Insn &X : Next->Insns)
+      B->Insns.push_back(std::move(X));
+    F.eraseBlock(I + 1);
+    Changed = true;
   }
   return Changed;
 }

@@ -2,6 +2,8 @@
 
 #include "opt/Liveness.h"
 
+#include "cfg/FlatCfg.h"
+
 using namespace coderep;
 using namespace coderep::cfg;
 using namespace coderep::opt;
@@ -42,18 +44,22 @@ Liveness::Liveness(const Function &F) : Universe(F) {
     Use[B].set(Universe.slot(RegFP));
   }
 
-  // Iterate to fixpoint (backward).
+  // Iterate to fixpoint (backward). The flow graph is snapshotted into
+  // flat arrays once; the loop body is pure word-parallel BitVec work on
+  // a reused scratch set, so an iteration allocates nothing.
+  cfg::FlatCfg Flat(F);
+  BitVec In(Universe.size());
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (int B = N - 1; B >= 0; --B) {
-      for (int S : F.successors(B))
+      for (int S : Flat.succs(B))
         Changed |= LiveOut[B].unionWith(LiveIn[S]);
-      BitVec In = LiveOut[B];
+      In = LiveOut[B];
       In.subtract(Def[B]);
       In.unionWith(Use[B]);
       if (!(In == LiveIn[B])) {
-        LiveIn[B] = std::move(In);
+        std::swap(LiveIn[B], In);
         Changed = true;
       }
     }

@@ -3,7 +3,10 @@
 #include "opt/Pipeline.h"
 
 #include "opt/Pass.h"
+#include "replicate/ShortestPaths.h"
 #include "support/Check.h"
+
+#include <chrono>
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -21,9 +24,77 @@ const char *opt::optLevelName(OptLevel Level) {
   CODEREP_UNREACHABLE("bad optimization level");
 }
 
+const char *opt::phaseName(Phase P) {
+  switch (P) {
+  case Phase::BranchChaining:
+    return "branch chaining";
+  case Phase::UnreachableElim:
+    return "unreachable elimination";
+  case Phase::BlockReorder:
+    return "block reordering";
+  case Phase::MergeFallthroughs:
+    return "fall-through merging";
+  case Phase::Replication:
+    return "code replication";
+  case Phase::InstructionSelection:
+    return "instruction selection";
+  case Phase::RegisterAssignment:
+    return "register assignment";
+  case Phase::LocalCse:
+    return "common subexpression elim";
+  case Phase::DeadVariableElim:
+    return "dead variable elimination";
+  case Phase::CodeMotion:
+    return "code motion";
+  case Phase::StrengthReduction:
+    return "strength reduction";
+  case Phase::ConstantFolding:
+    return "constant folding";
+  case Phase::RegisterAllocation:
+    return "register allocation";
+  case Phase::DelaySlotFilling:
+    return "delay-slot filling";
+  }
+  CODEREP_UNREACHABLE("bad phase");
+}
+
+int64_t PipelineStats::totalMicros() const {
+  int64_t Total = 0;
+  for (int64_t Us : PhaseMicros)
+    Total += Us;
+  return Total;
+}
+
+namespace {
+
+/// Runs one pass invocation under a wall-clock timer charged to its phase
+/// slot. Timing is skipped entirely when no stats sink was supplied.
+class PassRunner {
+public:
+  PassRunner(PipelineStats *Stats) : Stats(Stats) {}
+
+  template <typename Fn> bool operator()(Phase P, Fn &&Pass) {
+    if (!Stats)
+      return Pass();
+    auto Start = std::chrono::steady_clock::now();
+    bool Changed = Pass();
+    auto End = std::chrono::steady_clock::now();
+    Stats->PhaseMicros[static_cast<int>(P)] +=
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count();
+    return Changed;
+  }
+
+private:
+  PipelineStats *Stats;
+};
+
+} // namespace
+
 /// Runs the configured replication algorithm once.
 static bool runReplication(Function &F, const PipelineOptions &Options,
-                           PipelineStats *Stats) {
+                           PipelineStats *Stats,
+                           replicate::ShortestPathsCache *Cache) {
   replicate::ReplicationStats *S =
       Stats ? &Stats->Replication : nullptr;
   switch (Options.Level) {
@@ -32,7 +103,7 @@ static bool runReplication(Function &F, const PipelineOptions &Options,
   case OptLevel::Loops:
     return replicate::runLoops(F, S);
   case OptLevel::Jumps:
-    return replicate::runJumps(F, Options.Replication, S);
+    return replicate::runJumps(F, Options.Replication, S, Cache);
   }
   CODEREP_UNREACHABLE("bad optimization level");
 }
@@ -49,52 +120,76 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   if (Options.Replication.GrowthBaselineRtls < 0)
     Options.Replication.GrowthBaselineRtls = std::max(F.rtlCount(), 64);
 
+  // The step-1 shortest-path matrix survives from one replication
+  // invocation to the next; the fixpoint loop's later iterations usually
+  // change nothing, so their replication calls revalidate and reuse it.
+  replicate::ShortestPathsCache SpCache;
+
+  PassRunner run(Stats);
+  auto replicateOnce = [&] {
+    return run(Phase::Replication, [&] {
+      return runReplication(F, Options, Stats, &SpCache);
+    });
+  };
+
   // Initial branch optimizations (Figure 3, before the loop).
-  runBranchChaining(F);
-  runUnreachableElim(F);
-  runBlockReorder(F);
-  runMergeFallthroughs(F);
+  run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
+  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
+  run(Phase::BlockReorder, [&] { return runBlockReorder(F); });
+  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
 
   // "Code replication is performed at an early stage so that the later
   // optimizations can take advantage of the simplified control flow."
-  runReplication(F, Options, Stats);
-  runUnreachableElim(F);
-  runMergeFallthroughs(F);
+  replicateOnce();
+  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
+  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
 
-  runInstructionSelection(F, T);
+  run(Phase::InstructionSelection,
+      [&] { return runInstructionSelection(F, T); });
   // "register assignment; if (change) instruction selection;"
-  if (runRegisterAssignment(F))
-    runInstructionSelection(F, T);
+  if (run(Phase::RegisterAssignment, [&] { return runRegisterAssignment(F); }))
+    run(Phase::InstructionSelection,
+        [&] { return runInstructionSelection(F, T); });
 
   // The fixpoint loop of Figure 3.
   int Iter = 0;
   bool Changed = true;
   while (Changed && Iter++ < Options.MaxFixpointIterations) {
     Changed = false;
-    Changed |= runLocalCse(F, T);
-    Changed |= runDeadVariableElim(F);
-    Changed |= runCodeMotion(F);
-    Changed |= runStrengthReduction(F);
-    Changed |= runInstructionSelection(F, T);
-    Changed |= runBranchChaining(F);
-    Changed |= runConstantFolding(F);
-    Changed |= runReplication(F, Options, Stats);
-    Changed |= runUnreachableElim(F);
-    Changed |= runMergeFallthroughs(F);
+    Changed |= run(Phase::LocalCse, [&] { return runLocalCse(F, T); });
+    Changed |=
+        run(Phase::DeadVariableElim, [&] { return runDeadVariableElim(F); });
+    Changed |= run(Phase::CodeMotion, [&] { return runCodeMotion(F); });
+    Changed |=
+        run(Phase::StrengthReduction, [&] { return runStrengthReduction(F); });
+    Changed |= run(Phase::InstructionSelection,
+                   [&] { return runInstructionSelection(F, T); });
+    Changed |= run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
+    Changed |=
+        run(Phase::ConstantFolding, [&] { return runConstantFolding(F); });
+    Changed |= replicateOnce();
+    Changed |=
+        run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
+    Changed |=
+        run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
     F.verify();
   }
-  if (Stats)
+  if (Stats) {
     Stats->FixpointIterations += Iter;
+    Stats->SpCacheHits += SpCache.hits();
+    Stats->SpCacheMisses += SpCache.misses();
+  }
 
-  runRegisterAllocation(F, T);
-  runBranchChaining(F);
-  runUnreachableElim(F);
-  runBlockReorder(F);
-  runMergeFallthroughs(F);
+  run(Phase::RegisterAllocation,
+      [&] { return runRegisterAllocation(F, T); });
+  run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
+  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
+  run(Phase::BlockReorder, [&] { return runBlockReorder(F); });
+  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
 
   if (T.hasDelaySlots()) {
     int Nops = 0;
-    runDelaySlotFilling(F, &Nops);
+    run(Phase::DelaySlotFilling, [&] { return runDelaySlotFilling(F, &Nops); });
     if (Stats)
       Stats->DelaySlotNops += Nops;
   }

@@ -55,11 +55,46 @@ struct PipelineOptions {
   int MaxFixpointIterations = 16;
 };
 
+/// The individually timed passes of the pipeline, in Figure-3 order.
+enum class Phase {
+  BranchChaining,
+  UnreachableElim,
+  BlockReorder,
+  MergeFallthroughs,
+  Replication,
+  InstructionSelection,
+  RegisterAssignment,
+  LocalCse,
+  DeadVariableElim,
+  CodeMotion,
+  StrengthReduction,
+  ConstantFolding,
+  RegisterAllocation,
+  DelaySlotFilling,
+};
+inline constexpr int NumPhases = 14;
+
+/// Returns a stable printable name, e.g. "branch chaining".
+const char *phaseName(Phase P);
+
 /// What the pipeline did (aggregated over all fixpoint rounds).
 struct PipelineStats {
   replicate::ReplicationStats Replication;
   int FixpointIterations = 0;
   int DelaySlotNops = 0; ///< Nops emitted for unfillable delay slots
+
+  /// Behavior of the cross-round shortest-path matrix cache (JUMPS level
+  /// only): a hit means a replication round reused the previous matrix
+  /// because the flow graph was structurally unchanged.
+  int SpCacheHits = 0;
+  int SpCacheMisses = 0;
+
+  /// Wall-clock microseconds spent inside each pass, summed over every
+  /// invocation (most passes run once per fixpoint iteration).
+  int64_t PhaseMicros[NumPhases] = {};
+
+  /// Sum of PhaseMicros.
+  int64_t totalMicros() const;
 };
 
 /// Optimizes one function in place. The function must already be legal for

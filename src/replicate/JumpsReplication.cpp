@@ -46,10 +46,23 @@ struct Plan {
   int LoopsCompleted = 0;
 };
 
+/// Exact record of one applied plan's mutations, for step-6 rollback.
+/// Snapshotting the whole function per attempt (the previous scheme) copied
+/// every RTL even for the replications that stick, which dominated the
+/// replication phase; the undo log pays only for what actually changed.
+struct UndoLog {
+  rtl::Insn Jump;     ///< the unconditional jump popped off the source block
+  int InsertAt = 0;   ///< position of the first spliced-in copy
+  int InsertedCount = 0;
+  /// (block label, previous branch target) for every step-5 retarget.
+  std::vector<std::pair<int, int>> Retargets;
+};
+
 class JumpsPass {
 public:
-  JumpsPass(Function &F, const ReplicationOptions &O, ReplicationStats &S)
-      : F(F), O(O), S(S) {}
+  JumpsPass(Function &F, const ReplicationOptions &O, ReplicationStats &S,
+            ShortestPathsCache *Cache)
+      : F(F), O(O), S(S), Cache(Cache) {}
 
   bool run();
 
@@ -57,6 +70,8 @@ private:
   Function &F;
   const ReplicationOptions &O;
   ReplicationStats &S;
+  ShortestPathsCache *Cache; ///< optional cross-round matrix cache
+
   /// (block label, target label) pairs proven non-replicable.
   std::set<std::pair<int, int>> Skip;
   int64_t GrowthBudget = 0;
@@ -66,16 +81,25 @@ private:
   /// paper describes; because replications splice in new blocks, matrix
   /// entries are translated through stable block labels and every
   /// reconstructed path is re-validated against the current flow graph.
-  std::unique_ptr<ShortestPaths> RoundSP;
+  /// Owned by the cache when one is supplied, else by OwnedSP.
+  ShortestPaths *RoundSP = nullptr;
+  std::unique_ptr<ShortestPaths> OwnedSP;
   std::vector<int> RoundLabels;             ///< old index -> label
   std::map<int, int> RoundLabelToOld;       ///< label -> old index
+
+  /// Loop structure of the current flow graph. The replication planner
+  /// consults it for every candidate (step 3); rebuilding it per jump made
+  /// LoopInfo construction the hottest part of a round, so it is built
+  /// once per round and refreshed only after a successful mutation.
+  std::unique_ptr<LoopInfo> RoundLI;
 
   bool runRound();
   bool tryJumpAt(int BIdx);
   std::vector<int> translatePath(const std::vector<int> &OldPath);
   bool buildPlan(const std::vector<int> &Path, int BIdx, bool FavorLoops,
                  const LoopInfo &LI, Plan &Out);
-  bool applyPlan(int BIdx, const Plan &P);
+  bool applyPlan(int BIdx, const Plan &P, UndoLog &U);
+  void undo(const UndoLog &U);
 };
 
 bool JumpsPass::run() {
@@ -96,20 +120,38 @@ bool JumpsPass::run() {
 }
 
 bool JumpsPass::runRound() {
-  // Step 1 once per round.
-  RoundSP = std::make_unique<ShortestPaths>(F);
+  // Step 1 once per round. With a cache, a round that follows a round (or
+  // an earlier fixpoint iteration) that left the flow graph untouched
+  // reuses the previous matrix, lazily-computed rows included. The dense
+  // baseline mode recomputes eagerly every round, as the paper describes.
+  if (O.DenseShortestPaths) {
+    OwnedSP = std::make_unique<ShortestPaths>(F, ShortestPaths::Strategy::Dense);
+    RoundSP = OwnedSP.get();
+  } else if (Cache) {
+    RoundSP = &Cache->get(F);
+  } else {
+    OwnedSP = std::make_unique<ShortestPaths>(F);
+    RoundSP = OwnedSP.get();
+  }
   RoundLabels.clear();
   RoundLabelToOld.clear();
   for (int B = 0; B < F.size(); ++B) {
     RoundLabels.push_back(F.block(B)->Label);
     RoundLabelToOld[F.block(B)->Label] = B;
   }
+  RoundLI = std::make_unique<LoopInfo>(F);
   bool Changed = false;
   for (int B = 0; B < F.size() && S.JumpsReplaced < O.MaxReplacements; ++B) {
     if (!F.block(B)->endsWithJump())
       continue;
-    if (tryJumpAt(B))
+    if (tryJumpAt(B)) {
       Changed = true;
+      // The flow graph changed; the loop structure must be recomputed
+      // before the next candidate is planned. (The shortest-path matrix
+      // intentionally stays stale for the rest of the round, as in the
+      // paper; see RoundSP.)
+      RoundLI = std::make_unique<LoopInfo>(F);
+    }
   }
   return Changed;
 }
@@ -137,9 +179,7 @@ std::vector<int> JumpsPass::translatePath(const std::vector<int> &OldPath) {
   }
   for (size_t I = 0; I + 1 < Out.size(); ++I) {
     bool EdgeOk = false;
-    for (int Succ : F.successors(Out[I]))
-      if (Succ == Out[I + 1])
-        EdgeOk = true;
+    F.forEachSuccessor(Out[I], [&](int Succ) { EdgeOk |= Succ == Out[I + 1]; });
     if (!EdgeOk)
       return {};
   }
@@ -167,7 +207,7 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     return false;
 
   // Step 2: the two candidate sequences.
-  LoopInfo LI(F);
+  const LoopInfo &LI = *RoundLI;
   std::vector<int> ReturnPath =
       translatePath(RoundSP->cheapestReturnPath(OldT->second));
   // A return path must still end in a return block.
@@ -197,9 +237,8 @@ bool JumpsPass::tryJumpAt(int BIdx) {
       // The final block must still have an edge to the fall-through block.
       if (!LoopPath.empty()) {
         bool EdgeOk = false;
-        for (int Succ : F.successors(LoopPath.back()))
-          if (Succ == BIdx + 1)
-            EdgeOk = true;
+        F.forEachSuccessor(LoopPath.back(),
+                           [&](int Succ) { EdgeOk |= Succ == BIdx + 1; });
         if (!EdgeOk)
           LoopPath.clear();
       }
@@ -248,14 +287,15 @@ bool JumpsPass::tryJumpAt(int BIdx) {
       continue;
 
     // Step 6: apply on the real function, validate, roll back on failure.
-    std::unique_ptr<Function> Snapshot = F.clone();
-    if (!applyPlan(BIdx, P)) {
-      F.adoptBlocksFrom(*Snapshot);
+    // applyPlan mutates nothing when it returns false, and on success its
+    // undo log reverses the splice exactly (only the fresh-label counter
+    // stays advanced, which no decision observes).
+    UndoLog U;
+    if (!applyPlan(BIdx, P, U))
       continue;
-    }
     F.verify();
     if (!isReducible(F)) {
-      F.adoptBlocksFrom(*Snapshot);
+      undo(U);
       ++S.RolledBackIrreducible;
       continue;
     }
@@ -328,7 +368,7 @@ bool JumpsPass::buildPlan(const std::vector<int> &Path, int BIdx,
   return !Out.Specs.empty();
 }
 
-bool JumpsPass::applyPlan(int BIdx, const Plan &P) {
+bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
   const size_t K = P.Specs.size();
   // Control falls from the jump's block into the first copy: it must be a
   // copy of the jump's target.
@@ -438,10 +478,14 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P) {
   }
 
   // Splice: remove the jump, insert the copies right after its block.
+  // Everything from here on is recorded in the undo log.
   BasicBlock *B = F.block(BIdx);
   CODEREP_CHECK(B->endsWithJump(), "plan applied to a non-jump block");
+  U.Jump = B->Insns.back();
   B->Insns.pop_back();
   int InsertAt = BIdx + 1;
+  U.InsertAt = InsertAt;
+  U.InsertedCount = static_cast<int>(NewBlocks.size());
   for (size_t I = 0; I < NewBlocks.size(); ++I)
     F.insertBlock(InsertAt + static_cast<int>(I), std::move(NewBlocks[I]));
 
@@ -465,6 +509,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P) {
       if (CopiedLabels.count(T->Target)) {
         int Mapped = mapLabel(T->Target, -1);
         if (Mapped != T->Target) {
+          U.Retargets.push_back({XB->Label, T->Target});
           T->Target = Mapped;
           ++S.Step5Retargets;
         }
@@ -474,11 +519,28 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P) {
   return true;
 }
 
+void JumpsPass::undo(const UndoLog &U) {
+  // Reverse step-5 retargets. The labels are of uncopied blocks, which the
+  // erase below does not move out of existence, but resolving them before
+  // the erase keeps the lazy label cache warm for at most one rebuild.
+  for (auto [Label, OldTarget] : U.Retargets) {
+    int Idx = F.indexOfLabel(Label);
+    CODEREP_CHECK(Idx >= 0, "retargeted block vanished during rollback");
+    rtl::Insn *T = F.block(Idx)->terminator();
+    CODEREP_CHECK(T && T->Op == Opcode::CondJump,
+                  "retargeted terminator changed during rollback");
+    T->Target = OldTarget;
+  }
+  for (int I = 0; I < U.InsertedCount; ++I)
+    F.eraseBlock(U.InsertAt);
+  F.block(U.InsertAt - 1)->Insns.push_back(U.Jump);
+}
+
 } // namespace
 
 bool replicate::runJumps(Function &F, const ReplicationOptions &Options,
-                         ReplicationStats *Stats) {
+                         ReplicationStats *Stats, ShortestPathsCache *Cache) {
   ReplicationStats Local;
-  JumpsPass Pass(F, Options, Stats ? *Stats : Local);
+  JumpsPass Pass(F, Options, Stats ? *Stats : Local, Cache);
   return Pass.run();
 }

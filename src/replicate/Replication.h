@@ -65,6 +65,13 @@ struct ReplicationOptions {
   /// match the paper's measured configuration ("the replication of
   /// indirect jumps has not yet been implemented").
   bool AllowIndirectEndings = false;
+
+  /// Compile-time baseline knob: recompute the step-1 matrix eagerly with
+  /// the dense Warshall/Floyd recurrence at the start of every round,
+  /// bypassing the lazy rows and the cross-round cache. Replication
+  /// results are identical either way; bench_compile flips this to
+  /// measure the throughput win of the incremental implementation.
+  bool DenseShortestPaths = false;
 };
 
 /// Counters describing what the pass did.
@@ -77,9 +84,16 @@ struct ReplicationStats {
   int StubJumpsAdded = 0;         ///< explicit jumps materialized in copies
 };
 
+class ShortestPathsCache;
+
 /// Generalized code replication. Returns true if the function changed.
+/// \p Cache, when given, carries the step-1 shortest-path matrix across
+/// rounds and across repeated invocations from the optimizer's fixpoint
+/// loop; it is revalidated against the flow graph before every reuse, so
+/// results are identical with or without it.
 bool runJumps(cfg::Function &F, const ReplicationOptions &Options = {},
-              ReplicationStats *Stats = nullptr);
+              ReplicationStats *Stats = nullptr,
+              ShortestPathsCache *Cache = nullptr);
 
 /// Loop-condition replication only. Returns true if the function changed.
 bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr);

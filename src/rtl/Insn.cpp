@@ -274,7 +274,8 @@ std::string rtl::toString(const Operand &O) {
       Addr += toString(Operand::reg(O.Base));
     }
     if (O.Index >= 0) {
-      Addr += "+" + toString(Operand::reg(O.Index));
+      Addr += "+";
+      Addr += toString(Operand::reg(O.Index));
       if (O.Scale != 1)
         Addr += format("*%d", O.Scale);
     }

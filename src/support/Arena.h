@@ -1,0 +1,96 @@
+//===- Arena.h - Bump-pointer allocation ------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for the analysis hot paths. Allocations are
+/// trivially-destructible arrays carved out of large chunks, so building
+/// and discarding a per-round data structure (the shortest-path matrix,
+/// flat adjacency lists) costs a handful of mallocs instead of thousands.
+/// Memory is released only as a whole, when the arena dies or is reset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_ARENA_H
+#define CODEREP_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace coderep {
+
+/// Bump-pointer arena. Not thread-safe; one arena per analysis instance.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates an uninitialized array of \p N objects of trivially
+  /// destructible type T. The storage lives until reset()/destruction.
+  template <typename T> T *allocate(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    size_t Bytes = N * sizeof(T);
+    uintptr_t P = (Cur + alignof(T) - 1) & ~uintptr_t(alignof(T) - 1);
+    if (P + Bytes > End) {
+      grow(Bytes + alignof(T));
+      P = (Cur + alignof(T) - 1) & ~uintptr_t(alignof(T) - 1);
+    }
+    Cur = P + Bytes;
+    Used += Bytes;
+    return reinterpret_cast<T *>(P);
+  }
+
+  /// Allocates and zero-fills.
+  template <typename T> T *allocateZeroed(size_t N) {
+    T *P = allocate<T>(N);
+    for (size_t I = 0; I < N; ++I)
+      P[I] = T();
+    return P;
+  }
+
+  /// Drops every allocation but keeps the largest chunk for reuse.
+  void reset() {
+    if (Chunks.size() > 1)
+      Chunks.erase(Chunks.begin(), Chunks.end() - 1);
+    if (!Chunks.empty()) {
+      Cur = reinterpret_cast<uintptr_t>(Chunks.back().Data.get());
+      End = Cur + Chunks.back().Bytes;
+    }
+    Used = 0;
+  }
+
+  /// Total bytes handed out since construction/reset.
+  size_t bytesUsed() const { return Used; }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    size_t Bytes;
+  };
+
+  void grow(size_t AtLeast) {
+    size_t Bytes = Chunks.empty() ? 1u << 16 : Chunks.back().Bytes * 2;
+    if (Bytes < AtLeast)
+      Bytes = AtLeast;
+    Chunks.push_back({std::make_unique<char[]>(Bytes), Bytes});
+    Cur = reinterpret_cast<uintptr_t>(Chunks.back().Data.get());
+    End = Cur + Bytes;
+  }
+
+  std::vector<Chunk> Chunks;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t Used = 0;
+};
+
+} // namespace coderep
+
+#endif // CODEREP_SUPPORT_ARENA_H

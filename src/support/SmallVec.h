@@ -1,0 +1,94 @@
+//===- SmallVec.h - Inline-storage vector -----------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with N elements of inline storage for trivially copyable
+/// types, used where per-call std::vector heap churn showed up in the
+/// replication hot path: successor lists (almost always <= 2 entries),
+/// used-register scratch lists, and worklists. Spills to the heap only
+/// beyond N elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_SMALLVEC_H
+#define CODEREP_SUPPORT_SMALLVEC_H
+
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace coderep {
+
+/// Fixed-inline-capacity vector for trivially copyable element types.
+template <typename T, unsigned N> class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec supports trivially copyable types only");
+
+public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> Init) {
+    for (const T &V : Init)
+      push_back(V);
+  }
+  SmallVec(const SmallVec &Other) { *this = Other; }
+  SmallVec &operator=(const SmallVec &Other) {
+    if (this == &Other)
+      return *this;
+    Count = 0;
+    reserve(Other.Count);
+    std::memcpy(Data, Other.Data, Other.Count * sizeof(T));
+    Count = Other.Count;
+    return *this;
+  }
+  ~SmallVec() {
+    if (Data != inlineData())
+      std::free(Data);
+  }
+
+  void push_back(const T &V) {
+    if (Count == Capacity)
+      reserve(Capacity * 2);
+    Data[Count++] = V;
+  }
+
+  void reserve(unsigned NewCap) {
+    if (NewCap <= Capacity)
+      return;
+    T *NewData = static_cast<T *>(std::malloc(NewCap * sizeof(T)));
+    std::memcpy(NewData, Data, Count * sizeof(T));
+    if (Data != inlineData())
+      std::free(Data);
+    Data = NewData;
+    Capacity = NewCap;
+  }
+
+  void clear() { Count = 0; }
+  unsigned size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](unsigned I) { return Data[I]; }
+  const T &operator[](unsigned I) const { return Data[I]; }
+  T *begin() { return Data; }
+  T *end() { return Data + Count; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+  T &back() { return Data[Count - 1]; }
+  void pop_back() { --Count; }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(Inline); }
+
+  alignas(T) char Inline[N * sizeof(T)];
+  T *Data = inlineData();
+  unsigned Count = 0;
+  unsigned Capacity = N;
+};
+
+} // namespace coderep
+
+#endif // CODEREP_SUPPORT_SMALLVEC_H

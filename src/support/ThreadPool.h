@@ -1,0 +1,111 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fixed-size thread pool used to parallelize the benchmark
+/// pipeline: each (program, target, level) measurement is an independent
+/// compile+run, so the suite fans them out and reduces results back in
+/// submission order to keep reports deterministic regardless of worker
+/// count or scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_THREADPOOL_H
+#define CODEREP_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coderep {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means hardware concurrency (at
+  /// least one worker either way).
+  explicit ThreadPool(unsigned NumThreads = 0) {
+    if (NumThreads == 0)
+      NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I < NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    WakeWorker.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn and returns a future for its result. Tasks may not
+  /// themselves block on futures of tasks queued behind them.
+  template <typename Fn> auto submit(Fn &&F) -> std::future<decltype(F())> {
+    using R = decltype(F());
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Result = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.emplace_back([Task] { (*Task)(); });
+    }
+    WakeWorker.notify_one();
+    return Result;
+  }
+
+  /// Runs Fn(I) for every I in [0, N), blocking until all complete.
+  /// Results are whatever Fn writes; iteration order across workers is
+  /// unspecified, so Fn must write to disjoint slots.
+  template <typename Fn> void parallelFor(size_t N, Fn &&F) {
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Futures.push_back(submit([&F, I] { F(I); }));
+    for (std::future<void> &Fu : Futures)
+      Fu.get();
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WakeWorker.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Stopping && Queue.empty())
+          return;
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WakeWorker;
+  bool Stopping = false;
+};
+
+} // namespace coderep
+
+#endif // CODEREP_SUPPORT_THREADPOOL_H

@@ -1,0 +1,36 @@
+//===- M68Target.h - Motorola 68020-like machine description ----*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CISC target: ALU RTLs may take one memory operand, moves may be
+/// memory-to-memory, ALU results may go to memory in the two-address form
+/// (destination equals first source), and addresses may combine a symbol,
+/// a base register, a scaled index (x1/x2/x4) and a 32-bit displacement.
+/// No delay slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_TARGET_M68TARGET_H
+#define CODEREP_TARGET_M68TARGET_H
+
+#include "target/Target.h"
+
+namespace coderep::target {
+
+class M68Target : public Target {
+public:
+  const char *name() const override { return "Motorola 68020"; }
+  TargetKind kind() const override { return TargetKind::M68; }
+  bool hasDelaySlots() const override { return false; }
+  int numAllocatableRegs() const override { return 14; }
+  bool isLegal(const rtl::Insn &I) const override;
+  bool isLegalAddress(const rtl::Operand &M) const override;
+};
+
+} // namespace coderep::target
+
+#endif // CODEREP_TARGET_M68TARGET_H

@@ -1,0 +1,39 @@
+//===- SparcTarget.h - Sun SPARC-like machine description -------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RISC target: a load/store architecture. Memory is touched only by
+/// register loads and stores through a base+simm13 address; ALU RTLs are
+/// register-register with an optional simm13 second source; a symbol
+/// address is materialized by Lea (the sethi/or pair, idealized as one
+/// RTL). Taken branches have a delay slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_TARGET_SPARCTARGET_H
+#define CODEREP_TARGET_SPARCTARGET_H
+
+#include "target/Target.h"
+
+namespace coderep::target {
+
+class SparcTarget : public Target {
+public:
+  const char *name() const override { return "Sun SPARC"; }
+  TargetKind kind() const override { return TargetKind::Sparc; }
+  bool hasDelaySlots() const override { return true; }
+  int numAllocatableRegs() const override { return 24; }
+  bool isLegal(const rtl::Insn &I) const override;
+  bool isLegalAddress(const rtl::Operand &M) const override;
+
+  /// The SPARC's 13-bit signed immediate range.
+  static bool fitsSimm13(int64_t V) { return V >= -4096 && V <= 4095; }
+};
+
+} // namespace coderep::target
+
+#endif // CODEREP_TARGET_SPARCTARGET_H

@@ -1,0 +1,354 @@
+//===- Target.cpp - Machine descriptions and legalization --------------------===//
+//
+// The legalizer is target-independent and probing: it proposes standard
+// rewrites (materialize an address, load a memory source, range an
+// immediate, detour a memory destination through a register) and commits
+// whichever first makes the RTL answer isLegal() == true. The machine
+// descriptions therefore fully define legalization; adding a target means
+// writing only its legality predicates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/Target.h"
+
+#include "support/Check.h"
+#include "target/M68Target.h"
+#include "target/SparcTarget.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::rtl;
+using namespace coderep::target;
+
+Target::~Target() = default;
+
+//===----------------------------------------------------------------------===//
+// Motorola 68020
+//===----------------------------------------------------------------------===//
+
+bool M68Target::isLegalAddress(const Operand &M) const {
+  if (!M.isMem())
+    return false;
+  if (M.Size != 1 && M.Size != 4)
+    return false;
+  if (M.Index >= 0 && M.Scale != 1 && M.Scale != 2 && M.Scale != 4)
+    return false;
+  // Full 32-bit displacements; symbol, base and index freely combine.
+  return M.Disp >= INT32_MIN && M.Disp <= INT32_MAX;
+}
+
+bool M68Target::isLegal(const Insn &I) const {
+  auto addrOk = [&](const Operand &O) {
+    return !O.isMem() || isLegalAddress(O);
+  };
+  if (!addrOk(I.Dst) || !addrOk(I.Src1) || !addrOk(I.Src2))
+    return false;
+
+  auto memCount = [](const Operand &A, const Operand &B) {
+    return (A.isMem() ? 1 : 0) + (B.isMem() ? 1 : 0);
+  };
+
+  switch (I.Op) {
+  case Opcode::Move:
+    // Memory-to-memory moves and immediate stores are real 68020 forms.
+    return !I.Dst.isImm();
+  case Opcode::Neg:
+  case Opcode::Not:
+    if (I.Dst.isMem())
+      return I.Src1 == I.Dst; // "neg <ea>": read-modify-write
+    return true;
+  case Opcode::Lea:
+    return I.Dst.isReg() && I.Src1.isMem();
+  case Opcode::Compare:
+    return memCount(I.Src1, I.Src2) <= 1;
+  case Opcode::SwitchJump:
+    return I.Src1.isReg();
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::Call:
+  case Opcode::Return:
+  case Opcode::Nop:
+    return true;
+  default:
+    break;
+  }
+  CODEREP_CHECK(I.isBinaryOp(), "unclassified opcode in legality check");
+  if (I.Dst.isMem())
+    // Two-address read-modify-write: "add <src>, <ea>".
+    return I.Src1 == I.Dst && !I.Src2.isMem();
+  return memCount(I.Src1, I.Src2) <= 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Sun SPARC
+//===----------------------------------------------------------------------===//
+
+bool SparcTarget::isLegalAddress(const Operand &M) const {
+  if (!M.isMem())
+    return false;
+  if (M.Size != 1 && M.Size != 4)
+    return false;
+  // Base + simm13 displacement only: no symbol, no index register.
+  return M.Base >= 0 && M.Index < 0 && M.Sym < 0 && fitsSimm13(M.Disp);
+}
+
+bool SparcTarget::isLegal(const Insn &I) const {
+  auto aluSrc2 = [&](const Operand &O) {
+    return O.isReg() || (O.isImm() && fitsSimm13(O.Disp));
+  };
+  switch (I.Op) {
+  case Opcode::Move:
+    if (I.Dst.isReg())
+      // Load, register copy, or constant materialization (sethi/or,
+      // idealized as one RTL, so any 32-bit immediate is accepted).
+      return I.Src1.isReg() || I.Src1.isImm() ||
+             (I.Src1.isMem() && isLegalAddress(I.Src1));
+    if (I.Dst.isMem())
+      return isLegalAddress(I.Dst) && I.Src1.isReg(); // store
+    return false;
+  case Opcode::Neg:
+  case Opcode::Not:
+    return I.Dst.isReg() && I.Src1.isReg();
+  case Opcode::Lea:
+    // sethi/or materializes a symbol address (plus displacement); there is
+    // no general address-formation instruction.
+    return I.Dst.isReg() && I.Src1.isMem() && I.Src1.Base < 0 &&
+           I.Src1.Index < 0 && I.Src1.Sym >= 0;
+  case Opcode::Compare:
+    return I.Src1.isReg() && aluSrc2(I.Src2);
+  case Opcode::SwitchJump:
+    return I.Src1.isReg();
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::Call:
+  case Opcode::Return:
+  case Opcode::Nop:
+    return true;
+  default:
+    break;
+  }
+  CODEREP_CHECK(I.isBinaryOp(), "unclassified opcode in legality check");
+  return I.Dst.isReg() && I.Src1.isReg() && aluSrc2(I.Src2);
+}
+
+//===----------------------------------------------------------------------===//
+// The probing legalizer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits legal RTLs for one possibly-illegal RTL.
+class InsnLegalizer {
+public:
+  InsnLegalizer(const Target &T, Function &F, std::vector<Insn> &Out)
+      : T(T), F(F), Out(Out) {}
+
+  void legalize(Insn I);
+
+private:
+  const Target &T;
+  Function &F;
+  std::vector<Insn> &Out;
+
+  Operand freshReg() { return Operand::reg(F.freshVReg()); }
+
+  /// Emits \p I, which must already be legal.
+  void emitLegal(const Insn &I) {
+    CODEREP_CHECK(T.isLegal(I), "legalizer emitted an illegal RTL");
+    Out.push_back(I);
+  }
+
+  /// Loads \p V (imm or mem with a legal address) into a fresh register.
+  Operand intoReg(const Operand &V) {
+    if (V.isReg())
+      return V;
+    Operand R = freshReg();
+    legalize(Insn::move(R, V));
+    return R;
+  }
+
+  Operand legalizeAddress(const Operand &M);
+};
+
+/// Rewrites the address of \p M into a shape the target accepts, emitting
+/// the address arithmetic as legal RTLs. Returns the replacement operand.
+Operand InsnLegalizer::legalizeAddress(const Operand &M) {
+  if (T.isLegalAddress(M))
+    return M;
+
+  // Collect the address value into one register, component by component,
+  // then retry with the simple base+displacement form.
+  Operand Acc; // register holding the partial address; None until first part
+  auto addReg = [&](Operand R) {
+    if (Acc.isNone()) {
+      Acc = R;
+      return;
+    }
+    Operand Sum = freshReg();
+    emitLegal(Insn::binary(Opcode::Add, Sum, Acc, R));
+    Acc = Sum;
+  };
+
+  int64_t Disp = M.Disp;
+  if (M.Sym >= 0) {
+    // A symbol (with its displacement folded in when the target's Lea
+    // accepts it) becomes a register via Lea.
+    Operand SymReg = freshReg();
+    Insn WithDisp = Insn::lea(SymReg, Operand::mem(-1, Disp, M.Size));
+    WithDisp.Src1.Sym = M.Sym;
+    Insn Bare = Insn::lea(SymReg, Operand::mem(-1, 0, M.Size));
+    Bare.Src1.Sym = M.Sym;
+    if (T.isLegal(WithDisp)) {
+      Out.push_back(WithDisp);
+      Disp = 0;
+    } else {
+      CODEREP_CHECK(T.isLegal(Bare), "target cannot materialize a symbol");
+      Out.push_back(Bare);
+    }
+    addReg(SymReg);
+  }
+  if (M.Base >= 0)
+    addReg(Operand::reg(M.Base));
+  if (M.Index >= 0) {
+    Operand Idx = Operand::reg(M.Index);
+    if (M.Scale != 1) {
+      int Shift = M.Scale == 2 ? 1 : 2;
+      CODEREP_CHECK(M.Scale == 2 || M.Scale == 4,
+                    "unexpected scale in address legalization");
+      Operand Scaled = freshReg();
+      emitLegal(Insn::binary(Opcode::Shl, Scaled, Idx, Operand::imm(Shift)));
+      Idx = Scaled;
+    }
+    addReg(Idx);
+  }
+  if (Acc.isNone()) {
+    // Absolute address: materialize the displacement itself.
+    Acc = intoReg(Operand::imm(Disp));
+    Disp = 0;
+  }
+
+  Operand New = Operand::mem(Acc.Base, Disp, M.Size);
+  if (T.isLegalAddress(New))
+    return New;
+  // Displacement out of range: fold it into the base register.
+  Operand DispReg = intoReg(Operand::imm(Disp));
+  Operand Sum = freshReg();
+  emitLegal(Insn::binary(Opcode::Add, Sum, Acc, DispReg));
+  New = Operand::mem(Sum.Base, 0, M.Size);
+  CODEREP_CHECK(T.isLegalAddress(New), "address legalization failed");
+  return New;
+}
+
+void InsnLegalizer::legalize(Insn I) {
+  // Addresses first: every later probe assumes mem operands are reachable.
+  for (Operand *O : {&I.Dst, &I.Src1, &I.Src2})
+    if (O->isMem())
+      *O = legalizeAddress(*O);
+  if (T.isLegal(I)) {
+    Out.push_back(I);
+    return;
+  }
+
+  // Lea of a non-symbol address on a load/store machine: the address
+  // arithmetic itself is the value.
+  if (I.Op == Opcode::Lea) {
+    const Operand &M = I.Src1;
+    Operand Acc;
+    if (M.Base >= 0)
+      Acc = Operand::reg(M.Base);
+    if (M.Index >= 0) {
+      CODEREP_CHECK(M.Scale == 1, "scaled lea reached the legalizer");
+      Operand Idx = Operand::reg(M.Index);
+      if (Acc.isNone())
+        Acc = Idx;
+      else {
+        Operand Sum = freshReg();
+        legalize(Insn::binary(Opcode::Add, Sum, Acc, Idx));
+        Acc = Sum;
+      }
+    }
+    CODEREP_CHECK(M.Sym < 0, "symbol lea should have been legal");
+    if (Acc.isNone()) {
+      legalize(Insn::move(I.Dst, Operand::imm(M.Disp)));
+      return;
+    }
+    if (M.Disp != 0)
+      legalize(Insn::binary(Opcode::Add, I.Dst, Acc, Operand::imm(M.Disp)));
+    else
+      legalize(Insn::move(I.Dst, Acc));
+    return;
+  }
+
+  // Probe single-source rewrites; commit one only if it makes the RTL
+  // legal outright.
+  auto probeSrc = [&](bool First) {
+    Operand &O = First ? I.Src1 : I.Src2;
+    if (!O.isMem() && !O.isImm())
+      return false;
+    Insn Candidate = I;
+    Operand &CO = First ? Candidate.Src1 : Candidate.Src2;
+    CO = freshReg();
+    if (!T.isLegal(Candidate))
+      return false;
+    Insn Load = Insn::move(CO, O);
+    if (!T.isLegal(Load))
+      return false;
+    Out.push_back(Load);
+    I = Candidate;
+    return true;
+  };
+  if (!probeSrc(/*First=*/false))
+    probeSrc(/*First=*/true);
+
+  // A memory destination the instruction cannot write directly: compute
+  // into a register, then store. The recursion re-probes the sources
+  // against the register-destination form.
+  if (!T.isLegal(I) && I.Dst.isMem() && I.Op != Opcode::Move) {
+    Operand R = freshReg();
+    Operand Mem = I.Dst;
+    I.Dst = R;
+    legalize(I);
+    legalize(Insn::move(Mem, R));
+    return;
+  }
+
+  // Last resort: force every remaining immediate or memory source into a
+  // register (covers shapes where no single rewrite suffices, e.g. a
+  // store of an immediate or two offending sources at once).
+  if (!T.isLegal(I)) {
+    for (bool First : {true, false}) {
+      Operand &O = First ? I.Src1 : I.Src2;
+      if (T.isLegal(I))
+        break;
+      if (O.isMem() || O.isImm())
+        O = intoReg(O);
+    }
+  }
+
+  emitLegal(I);
+}
+
+} // namespace
+
+void Target::legalizeFunction(Function &F) const {
+  std::vector<Insn> Out;
+  for (int B = 0; B < F.size(); ++B) {
+    BasicBlock *Block = F.block(B);
+    Out.clear();
+    Out.reserve(Block->Insns.size());
+    InsnLegalizer L(*this, F, Out);
+    for (Insn &I : Block->Insns)
+      L.legalize(std::move(I));
+    Block->Insns = Out;
+  }
+}
+
+std::unique_ptr<Target> target::createTarget(TargetKind K) {
+  switch (K) {
+  case TargetKind::M68:
+    return std::make_unique<M68Target>();
+  case TargetKind::Sparc:
+    return std::make_unique<SparcTarget>();
+  }
+  CODEREP_UNREACHABLE("unknown target kind");
+}

@@ -60,8 +60,9 @@ TEST(Pipeline, OutputIsTargetLegal) {
         for (int B = 0; B < F->size(); ++B) {
           for (const Insn &I : F->block(B)->Insns)
             EXPECT_TRUE(T->isLegal(I)) << toString(I);
-          if (F->block(B)->DelaySlot)
+          if (F->block(B)->DelaySlot) {
             EXPECT_TRUE(T->isLegal(*F->block(B)->DelaySlot));
+          }
         }
     }
   }
