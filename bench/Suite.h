@@ -58,10 +58,13 @@ struct MeasuredRun {
 /// Compiles \p BP for \p TK at \p Level, runs it, and (when \p CacheConfigs
 /// is non-empty) simulates every cache configuration in one pass. Aborts
 /// on compile error or runtime trap: the benchmark suite must be green.
+/// \p Trace, when non-null, receives a "measure <prog>/<target>/<level>"
+/// span and is threaded into the compile as the pipeline's trace sink.
 MeasuredRun measure(const BenchProgram &BP, target::TargetKind TK,
                     opt::OptLevel Level,
                     const std::vector<cache::CacheConfig> &CacheConfigs = {},
-                    const opt::PipelineOptions *Override = nullptr);
+                    const opt::PipelineOptions *Override = nullptr,
+                    obs::TraceSink *Trace = nullptr);
 
 /// One element of a measurement batch: measure() arguments by value.
 struct MeasureRequest {
@@ -76,9 +79,13 @@ struct MeasureRequest {
 /// (program, target, level) triple is an independent compile+run) and
 /// returns the results in request order, so reports reduced from the batch
 /// are deterministic regardless of worker count or scheduling.
-/// \p Threads: 0 = hardware concurrency.
+/// \p Threads: 0 = hardware concurrency. \p Trace, when non-null, records
+/// one span per measure on the recording worker's own track (threads are
+/// named "worker <n>"), so the Chrome-trace export shows the parallel
+/// schedule of the batch.
 std::vector<MeasuredRun> measureAll(const std::vector<MeasureRequest> &Requests,
-                                    unsigned Threads = 0);
+                                    unsigned Threads = 0,
+                                    obs::TraceSink *Trace = nullptr);
 
 /// The paper's four cache sizes.
 inline std::vector<uint32_t> paperCacheSizes() {

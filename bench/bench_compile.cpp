@@ -21,6 +21,10 @@
 
 #include "Suite.h"
 
+#include "obs/ScopedTimer.h"
+#include "obs/TraceCli.h"
+#include "support/Format.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -46,15 +50,35 @@ struct OneCompile {
   int SpCacheMisses = 0;
 };
 
+const char *targetName(target::TargetKind TK) {
+  return TK == target::TargetKind::M68 ? "m68" : "sparc";
+}
+
 /// Compiles \p BP \p Reps times, keeping the fastest wall-clock; phase
-/// counters are taken from the fastest repetition too.
+/// counters are taken from the fastest repetition too. \p Trace, when
+/// non-null, spans every repetition (and is threaded into the compile),
+/// which of course perturbs the timings - trace a bench run to see where
+/// its time goes, not to report numbers.
 OneCompile timedCompile(const BenchProgram &BP, target::TargetKind TK,
                         opt::OptLevel Level,
-                        const opt::PipelineOptions *Override, int Reps) {
+                        const opt::PipelineOptions *Override, int Reps,
+                        obs::TraceSink *Trace, const char *Config) {
+  opt::PipelineOptions TracedOpts;
+  if (Override)
+    TracedOpts = *Override;
+  if (Trace)
+    TracedOpts.Trace.Sink = Trace;
+  const opt::PipelineOptions *EffOverride =
+      (Override || Trace) ? &TracedOpts : nullptr;
+
   OneCompile Best;
   for (int R = 0; R < Reps; ++R) {
+    obs::ScopedTimer Span(Trace, Trace ? format("compile %s/%s %s",
+                                                BP.Name.c_str(),
+                                                targetName(TK), Config)
+                                       : std::string());
     auto Start = std::chrono::steady_clock::now();
-    driver::Compilation C = driver::compile(BP.Source, TK, Level, Override);
+    driver::Compilation C = driver::compile(BP.Source, TK, Level, EffOverride);
     auto End = std::chrono::steady_clock::now();
     if (!C.ok()) {
       std::fprintf(stderr, "compile error in %s: %s\n", BP.Name.c_str(),
@@ -75,14 +99,17 @@ OneCompile timedCompile(const BenchProgram &BP, target::TargetKind TK,
   return Best;
 }
 
-const char *targetName(target::TargetKind TK) {
-  return TK == target::TargetKind::M68 ? "m68" : "sparc";
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
-  const std::string OutPath = argc > 1 ? argv[1] : "BENCH_compile.json";
+  obs::TraceCli Obs;
+  std::string OutPath = "BENCH_compile.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (!Obs.consume(Arg))
+      OutPath = Arg;
+  }
+  obs::TraceSink *Trace = Obs.sink();
   const int Reps = 3;
 
   opt::PipelineOptions Baseline;
@@ -95,12 +122,14 @@ int main(int argc, char **argv) {
   for (target::TargetKind TK :
        {target::TargetKind::Sparc, target::TargetKind::M68}) {
     for (const BenchProgram &BP : suite()) {
-      OneCompile B =
-          timedCompile(BP, TK, opt::OptLevel::Jumps, &Baseline, Reps);
-      OneCompile O = timedCompile(BP, TK, opt::OptLevel::Jumps, nullptr, Reps);
-      OneCompile S =
-          timedCompile(BP, TK, opt::OptLevel::Simple, nullptr, Reps);
-      OneCompile L = timedCompile(BP, TK, opt::OptLevel::Loops, nullptr, Reps);
+      OneCompile B = timedCompile(BP, TK, opt::OptLevel::Jumps, &Baseline,
+                                  Reps, Trace, "jumps-baseline");
+      OneCompile O = timedCompile(BP, TK, opt::OptLevel::Jumps, nullptr, Reps,
+                                  Trace, "jumps-optimized");
+      OneCompile S = timedCompile(BP, TK, opt::OptLevel::Simple, nullptr,
+                                  Reps, Trace, "simple");
+      OneCompile L = timedCompile(BP, TK, opt::OptLevel::Loops, nullptr, Reps,
+                                  Trace, "loops");
 
       BaselineTotals.TotalUs += B.Us;
       BaselineTotals.ReplicationUs += B.ReplicationUs;
@@ -185,5 +214,5 @@ int main(int argc, char **argv) {
                  "warning: speedup %.2fx below the 2x acceptance target\n",
                  Speedup);
   }
-  return 0;
+  return Obs.finish() ? 0 : 1;
 }

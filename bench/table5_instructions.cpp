@@ -10,6 +10,7 @@
 
 #include "Suite.h"
 
+#include "obs/TraceCli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -17,7 +18,16 @@
 using namespace coderep;
 using namespace coderep::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  obs::TraceCli Obs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!Obs.consume(Arg)) {
+      std::fprintf(stderr, "usage: table5_instructions %s\n",
+                   obs::TraceCli::usage());
+      return 2;
+    }
+  }
   std::printf("Table 5: Number of Static and Dynamic Instructions\n");
   std::printf("(paper averages: static +3.97%%/+56.53%% (SPARC), "
               "+2.55%%/+49.37%% (68020);\n dynamic -2.39%%/-5.71%% (SPARC), "
@@ -41,7 +51,7 @@ int main() {
       for (opt::OptLevel Level : {opt::OptLevel::Simple, opt::OptLevel::Loops,
                                   opt::OptLevel::Jumps})
         Requests.push_back({&BP, TK, Level, {}, nullptr});
-    std::vector<MeasuredRun> Runs = measureAll(Requests);
+    std::vector<MeasuredRun> Runs = measureAll(Requests, 0, Obs.sink());
 
     double StatL = 0, StatJ = 0, DynL = 0, DynJ = 0;
     long long StatSimpleSum = 0;
@@ -83,5 +93,5 @@ int main() {
                   signedPercent(DynJ / N)});
     std::printf("%s\n", Table.render().c_str());
   }
-  return 0;
+  return Obs.finish() ? 0 : 1;
 }

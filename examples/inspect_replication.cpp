@@ -7,12 +7,18 @@
 //
 // Build and run:  ./build/examples/inspect_replication
 //
+// With --trace-out=FILE the run also records span events and one decision
+// record per examined jump, exported as Chrome trace-event JSON; the
+// decision log is echoed to stdout. --metrics-out= and --dot-dir= work as
+// in every other binary (see obs/TraceCli.h).
+//
 //===----------------------------------------------------------------------===//
 
 #include "cfg/CfgAnalysis.h"
 #include "cfg/FunctionPrinter.h"
 #include "driver/Compiler.h"
 #include "frontend/CodeGen.h"
+#include "obs/TraceCli.h"
 #include "replicate/Replication.h"
 #include "replicate/ShortestPaths.h"
 #include "target/Target.h"
@@ -21,7 +27,16 @@
 
 using namespace coderep;
 
-int main() {
+int main(int Argc, char **Argv) {
+  obs::TraceCli Obs;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!Obs.consume(Arg)) {
+      std::fprintf(stderr, "usage: inspect_replication %s\n",
+                   obs::TraceCli::usage());
+      return 2;
+    }
+  }
   // An unstructured loop: entered in the middle via goto, exit in the
   // middle; Section 3.1 promises the generalized algorithm handles it.
   const char *Source = R"(
@@ -55,7 +70,8 @@ int main() {
   std::printf("=== front-end RTLs ===\n%s\n", cfg::toString(F).c_str());
 
   // The step-1 planning matrix.
-  replicate::ShortestPaths SP(F);
+  replicate::ShortestPaths SP(F, replicate::ShortestPaths::Strategy::Lazy,
+                              Obs.sink());
   std::printf("shortest replication costs between blocks (RTLs, '-' = no "
               "path):\n      ");
   for (int V = 0; V < F.size(); ++V)
@@ -74,23 +90,32 @@ int main() {
     std::printf("\n");
   }
 
-  // Replicate one jump at a time.
+  // Replicate one jump at a time, accumulating stats across rounds.
+  replicate::ReplicationStats Total;
   int Round = 0;
   while (true) {
     replicate::ReplicationOptions Options;
     Options.MaxReplacements = 1; // one replacement per call, for inspection
-    replicate::ReplicationStats Stats;
-    if (!replicate::runJumps(F, Options, &Stats))
+    Options.Trace = Obs.config();
+    int Before = Total.JumpsReplaced;
+    if (!replicate::runJumps(F, Options, &Total))
       break;
     ++Round;
     std::printf("\n=== after replication %d (replaced %d, loop "
                 "completions %d, rollbacks %d) ===\n%s",
-                Round, Stats.JumpsReplaced, Stats.LoopsCompleted,
-                Stats.RolledBackIrreducible, cfg::toString(F).c_str());
+                Round, Total.JumpsReplaced - Before, Total.LoopsCompleted,
+                Total.RolledBackIrreducible, cfg::toString(F).c_str());
     std::printf("reducible: %s\n", cfg::isReducible(F) ? "yes" : "no");
     if (Round > 10)
       break;
   }
+
+  // Why jumps survived, split by rejection reason (see ReplicationStats).
+  std::printf("\nrejection breakdown: %d rolled back (non-reducible), "
+              "%d over the length cap, %d over the growth budget, "
+              "%d with no candidate\n",
+              Total.RolledBackIrreducible, Total.SkippedLengthCap,
+              Total.SkippedGrowthBudget, Total.SkippedNoCandidate);
 
   int Jumps = 0;
   for (int B = 0; B < F.size(); ++B)
@@ -100,8 +125,11 @@ int main() {
 
   // Where the compile time goes: run the full JUMPS pipeline on the same
   // source and print the per-phase timings the driver records.
+  opt::PipelineOptions TracedOpts;
+  TracedOpts.Trace = Obs.config();
   driver::Compilation C =
-      driver::compile(Source, target::TargetKind::Sparc, opt::OptLevel::Jumps);
+      driver::compile(Source, target::TargetKind::Sparc, opt::OptLevel::Jumps,
+                      Obs.active() ? &TracedOpts : nullptr);
   if (!C.ok()) {
     std::fprintf(stderr, "error: %s\n", C.Error.c_str());
     return 1;
@@ -117,5 +145,13 @@ int main() {
               "fixpoint iterations\n",
               C.Pipeline.SpCacheHits, C.Pipeline.SpCacheMisses,
               C.Pipeline.FixpointIterations);
-  return 0;
+
+  // Echo the structured decision log when tracing was requested; the same
+  // records ride in the Chrome-trace export as instant events.
+  if (obs::TraceSink *Sink = Obs.sink()) {
+    std::printf("\n=== replication decision log ===\n");
+    for (const obs::ReplicationDecision &D : Sink->decisions())
+      std::printf("%s\n", obs::formatDecision(D).c_str());
+  }
+  return Obs.finish() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 
 #include "Suite.h"
 #include "cfg/FunctionPrinter.h"
+#include "obs/TraceCli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -39,6 +40,7 @@ int main(int Argc, char **Argv) {
   target::TargetKind TK = target::TargetKind::Sparc;
   opt::OptLevel Level = opt::OptLevel::Jumps;
   bool Dump = false, Cache = false;
+  obs::TraceCli Obs;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -58,6 +60,8 @@ int main(int Argc, char **Argv) {
       Cache = true;
     else if (Arg.rfind("--input=", 0) == 0)
       InputPath = Arg.substr(8);
+    else if (Obs.consume(Arg))
+      ; // handled
     else if (Arg[0] != '-')
       Path = Arg;
     else {
@@ -69,7 +73,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: minic_compiler FILE.mc [--target=m68|sparc] "
                  "[--level=simple|loops|jumps] [--dump] [--input=FILE] "
-                 "[--cache]\n");
+                 "[--cache] %s\n",
+                 obs::TraceCli::usage());
     return 2;
   }
 
@@ -84,14 +89,17 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  driver::Compilation C = driver::compile(Source, TK, Level);
+  opt::PipelineOptions TracedOpts;
+  TracedOpts.Trace = Obs.config();
+  driver::Compilation C =
+      driver::compile(Source, TK, Level, Obs.active() ? &TracedOpts : nullptr);
   if (!C.ok()) {
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), C.Error.c_str());
     return 1;
   }
   if (Dump) {
     std::printf("%s", cfg::toString(*C.Prog).c_str());
-    return 0;
+    return Obs.finish() ? 0 : 1;
   }
 
   std::vector<cache::CacheConfig> Configs;
@@ -133,5 +141,7 @@ int main(int Argc, char **Argv) {
                  100.0 * Bank.caches()[I].stats().missRatio(),
                  static_cast<unsigned long long>(
                      Bank.caches()[I].stats().FetchCost));
+  if (!Obs.finish())
+    return 1;
   return R.ok() ? 0 : 1;
 }

@@ -27,6 +27,13 @@ std::string toString(const Function &F);
 /// Renders every function of \p P.
 std::string toString(const Program &P);
 
+/// Renders \p F's flow graph as Graphviz DOT: one node per block (label
+/// and RTL count), solid edges for branch targets, dashed edges for
+/// fall-through. \p Title becomes the graph label; the observability
+/// layer keys it to a replication decision-record id so before/after
+/// dumps can be matched to the trace.
+std::string toDot(const Function &F, const std::string &Title = {});
+
 } // namespace coderep::cfg
 
 #endif // CODEREP_CFG_FUNCTIONPRINTER_H

@@ -3,6 +3,7 @@
 #include "driver/Compiler.h"
 
 #include "frontend/CodeGen.h"
+#include "obs/ScopedTimer.h"
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -48,20 +49,31 @@ Compilation driver::compile(const std::string &Source, target::TargetKind TK,
                             const opt::PipelineOptions *Override) {
   Compilation Result;
   Result.Prog = std::make_unique<Program>();
-  if (!frontend::compileToRtl(Source, *Result.Prog, Result.Error))
-    return Result;
-
-  std::unique_ptr<target::Target> T = target::createTarget(TK);
-  for (auto &F : Result.Prog->Functions) {
-    T->legalizeFunction(*F);
-    F->verify();
-  }
-
   opt::PipelineOptions Options;
   if (Override)
     Options = *Override;
   Options.Level = Level;
-  opt::optimizeProgram(*Result.Prog, *T, Options, &Result.Pipeline);
+  obs::TraceSink *Sink = Options.Trace.Sink;
+
+  {
+    obs::ScopedTimer Span(Sink, "frontend");
+    if (!frontend::compileToRtl(Source, *Result.Prog, Result.Error))
+      return Result;
+  }
+
+  std::unique_ptr<target::Target> T = target::createTarget(TK);
+  {
+    obs::ScopedTimer Span(Sink, "legalize");
+    for (auto &F : Result.Prog->Functions) {
+      T->legalizeFunction(*F);
+      F->verify();
+    }
+  }
+
+  {
+    obs::ScopedTimer Span(Sink, "optimize");
+    opt::optimizeProgram(*Result.Prog, *T, Options, &Result.Pipeline);
+  }
   Result.Static = staticStats(*Result.Prog);
   return Result;
 }

@@ -1,0 +1,63 @@
+//===- Metrics.h - Named metric counters ------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe registry of named 64-bit counters: the flat-metrics half
+/// of the observability layer. Producers add deltas under dotted names
+/// ("replicate.sp_rows_computed", "fn.main.jumps_replaced"); consumers
+/// snapshot the whole registry or export it as a flat JSON object with
+/// keys in sorted order, so two runs of a deterministic workload produce
+/// byte-identical metrics files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OBS_METRICS_H
+#define CODEREP_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace coderep::obs {
+
+/// Thread-safe name -> int64 counter map.
+class MetricsRegistry {
+public:
+  /// Adds \p Delta to the counter \p Name (creating it at zero).
+  void add(const std::string &Name, int64_t Delta) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Values[Name] += Delta;
+  }
+
+  /// Overwrites the counter \p Name.
+  void set(const std::string &Name, int64_t Value) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Values[Name] = Value;
+  }
+
+  /// Current value of \p Name; 0 when never written.
+  int64_t value(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Values.find(Name);
+    return It == Values.end() ? 0 : It->second;
+  }
+
+  /// Copy of the whole registry, keys sorted.
+  std::map<std::string, int64_t> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Values;
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, int64_t> Values;
+};
+
+} // namespace coderep::obs
+
+#endif // CODEREP_OBS_METRICS_H

@@ -1,0 +1,67 @@
+//===- ScopedTimer.h - RAII span timing -------------------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII timing for a span of work. One ScopedTimer serves both consumers
+/// of phase timing: it emits a begin/end event pair into a TraceSink (when
+/// one is attached) and adds the elapsed microseconds to an accumulator
+/// (when one is given) - the pipeline's PhaseMicros counters are such
+/// accumulators. With neither, construction and destruction do no work at
+/// all: no clock read, no allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OBS_SCOPEDTIMER_H
+#define CODEREP_OBS_SCOPEDTIMER_H
+
+#include "obs/Trace.h"
+
+#include <chrono>
+
+namespace coderep::obs {
+
+/// Times a scope; see file comment. Movable-from never, copyable never:
+/// one object, one span.
+class ScopedTimer {
+public:
+  /// \p Sink may be null (no events). \p AccumUs may be null (no
+  /// accumulation). \p Args is the begin-event's JSON args body.
+  ScopedTimer(TraceSink *Sink, std::string Name, int64_t *AccumUs = nullptr,
+              std::string Args = {})
+      : Sink(Sink), AccumUs(AccumUs) {
+    if (!Sink && !AccumUs)
+      return;
+    if (AccumUs)
+      Start = std::chrono::steady_clock::now();
+    if (Sink) {
+      this->Name = std::move(Name);
+      Sink->begin(this->Name, std::move(Args));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    if (AccumUs)
+      *AccumUs += std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (Sink)
+      Sink->end(Name);
+  }
+
+private:
+  TraceSink *Sink = nullptr;
+  int64_t *AccumUs = nullptr;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace coderep::obs
+
+#endif // CODEREP_OBS_SCOPEDTIMER_H

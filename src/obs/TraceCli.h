@@ -1,0 +1,100 @@
+//===- TraceCli.h - Shared --trace-out/--metrics-out handling ---*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every example and bench binary exposes the same three observability
+/// flags; this header is the one place that parses them and flushes the
+/// outputs:
+///
+///   --trace-out=FILE    write Chrome trace-event JSON (Perfetto-loadable)
+///   --metrics-out=FILE  write the flat metrics JSON
+///   --dot-dir=DIR       dump before/after CFG DOT per applied decision
+///
+/// Usage: call consume() on each argv entry (true = it was an obs flag),
+/// pass config() wherever a TraceConfig is accepted, and call finish()
+/// before exit to write the requested files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OBS_TRACECLI_H
+#define CODEREP_OBS_TRACECLI_H
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+
+namespace coderep::obs {
+
+/// Owns the sink and the parsed output paths for one binary.
+class TraceCli {
+public:
+  /// Returns true when \p Arg was one of the observability flags.
+  bool consume(const std::string &Arg) {
+    if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Arg.substr(12);
+      return true;
+    }
+    if (Arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOut = Arg.substr(14);
+      return true;
+    }
+    if (Arg.rfind("--dot-dir=", 0) == 0) {
+      DotDir = Arg.substr(10);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when any flag asked for observability output.
+  bool active() const {
+    return !TraceOut.empty() || !MetricsOut.empty() || !DotDir.empty();
+  }
+
+  /// The config to thread through the compiler; disabled when no flag was
+  /// given, so un-traced runs keep the null-sink fast path.
+  TraceConfig config() {
+    TraceConfig C;
+    if (active())
+      C.Sink = &Sink;
+    C.CfgDotDir = DotDir;
+    return C;
+  }
+
+  /// The sink itself, for binaries that record their own spans.
+  TraceSink *sink() { return active() ? &Sink : nullptr; }
+
+  /// Writes whatever was requested. Returns false on any write failure.
+  bool finish() {
+    bool Ok = true;
+    if (!TraceOut.empty()) {
+      Ok &= TraceSink::writeFile(TraceOut, Sink.chromeTraceJson());
+      if (Ok)
+        std::fprintf(stderr, "wrote trace to %s (open in Perfetto or "
+                             "chrome://tracing)\n",
+                     TraceOut.c_str());
+    }
+    if (!MetricsOut.empty()) {
+      Ok &= TraceSink::writeFile(MetricsOut, Sink.metricsJson());
+      if (Ok)
+        std::fprintf(stderr, "wrote metrics to %s\n", MetricsOut.c_str());
+    }
+    return Ok;
+  }
+
+  /// One usage line describing the flags, for --help texts.
+  static const char *usage() {
+    return "[--trace-out=FILE] [--metrics-out=FILE] [--dot-dir=DIR]";
+  }
+
+private:
+  std::string TraceOut, MetricsOut, DotDir;
+  TraceSink Sink;
+};
+
+} // namespace coderep::obs
+
+#endif // CODEREP_OBS_TRACECLI_H

@@ -2,11 +2,11 @@
 
 #include "opt/Pipeline.h"
 
+#include "obs/ScopedTimer.h"
 #include "opt/Pass.h"
 #include "replicate/ShortestPaths.h"
 #include "support/Check.h"
-
-#include <chrono>
+#include "support/Format.h"
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -67,26 +67,25 @@ int64_t PipelineStats::totalMicros() const {
 
 namespace {
 
-/// Runs one pass invocation under a wall-clock timer charged to its phase
-/// slot. Timing is skipped entirely when no stats sink was supplied.
+/// Runs one pass invocation under a ScopedTimer that charges the elapsed
+/// microseconds to the phase's PhaseMicros slot and, when a trace sink is
+/// attached, emits a span event named after the phase. With neither stats
+/// nor sink the timer does no work (not even a clock read).
 class PassRunner {
 public:
-  PassRunner(PipelineStats *Stats) : Stats(Stats) {}
+  PassRunner(PipelineStats *Stats, obs::TraceSink *Sink)
+      : Stats(Stats), Sink(Sink) {}
 
   template <typename Fn> bool operator()(Phase P, Fn &&Pass) {
-    if (!Stats)
-      return Pass();
-    auto Start = std::chrono::steady_clock::now();
-    bool Changed = Pass();
-    auto End = std::chrono::steady_clock::now();
-    Stats->PhaseMicros[static_cast<int>(P)] +=
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count();
-    return Changed;
+    obs::ScopedTimer Span(
+        Sink, phaseName(P),
+        Stats ? &Stats->PhaseMicros[static_cast<int>(P)] : nullptr);
+    return Pass();
   }
 
 private:
   PipelineStats *Stats;
+  obs::TraceSink *Sink;
 };
 
 } // namespace
@@ -101,7 +100,7 @@ static bool runReplication(Function &F, const PipelineOptions &Options,
   case OptLevel::Simple:
     return false;
   case OptLevel::Loops:
-    return replicate::runLoops(F, S);
+    return replicate::runLoops(F, S, Options.Replication.Trace);
   case OptLevel::Jumps:
     return replicate::runJumps(F, Options.Replication, S, Cache);
   }
@@ -120,12 +119,30 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   if (Options.Replication.GrowthBaselineRtls < 0)
     Options.Replication.GrowthBaselineRtls = std::max(F.rtlCount(), 64);
 
+  // One sink serves the whole pipeline: pass spans here, round spans and
+  // decision records inside the replication passes.
+  Options.Replication.Trace = Options.Trace;
+  obs::TraceSink *Sink = Options.Trace.Sink;
+
+  // The per-function metrics below are deltas over the stats counters; when
+  // the caller wants tracing but no stats, accumulate into a local copy.
+  PipelineStats LocalStats;
+  if (Sink && !Stats)
+    Stats = &LocalStats;
+  const replicate::ReplicationStats ReplBefore =
+      Stats ? Stats->Replication : replicate::ReplicationStats();
+
+  obs::ScopedTimer FnSpan(Sink, "optimize " + F.Name, nullptr,
+                          format("\"function\": \"%s\", \"level\": \"%s\"",
+                                 F.Name.c_str(), optLevelName(Options.Level)));
+
   // The step-1 shortest-path matrix survives from one replication
   // invocation to the next; the fixpoint loop's later iterations usually
   // change nothing, so their replication calls revalidate and reuse it.
   replicate::ShortestPathsCache SpCache;
+  SpCache.setTrace(Sink);
 
-  PassRunner run(Stats);
+  PassRunner run(Stats, Sink);
   auto replicateOnce = [&] {
     return run(Phase::Replication, [&] {
       return runReplication(F, Options, Stats, &SpCache);
@@ -156,6 +173,9 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   bool Changed = true;
   while (Changed && Iter++ < Options.MaxFixpointIterations) {
     Changed = false;
+    obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
+                              format("\"function\": \"%s\", \"round\": %d",
+                                     F.Name.c_str(), Iter));
     Changed |= run(Phase::LocalCse, [&] { return runLocalCse(F, T); });
     Changed |=
         run(Phase::DeadVariableElim, [&] { return runDeadVariableElim(F); });
@@ -194,6 +214,17 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       Stats->DelaySlotNops += Nops;
   }
   F.verify();
+
+  if (Sink) {
+    const replicate::ReplicationStats &R = Stats->Replication;
+    obs::MetricsRegistry &M = Sink->metrics();
+    M.add("fn." + F.Name + ".jumps_replaced",
+          R.JumpsReplaced - ReplBefore.JumpsReplaced);
+    M.add("fn." + F.Name + ".rollbacks_irreducible",
+          R.RolledBackIrreducible - ReplBefore.RolledBackIrreducible);
+    M.add("fn." + F.Name + ".fixpoint_rounds", Iter);
+    M.set("fn." + F.Name + ".rtls_out", F.rtlCount());
+  }
 }
 
 void opt::optimizeProgram(Program &P, const target::Target &T,

@@ -53,6 +53,12 @@ struct PipelineOptions {
   OptLevel Level = OptLevel::Simple;
   replicate::ReplicationOptions Replication;
   int MaxFixpointIterations = 16;
+
+  /// Observability: when Trace.Sink is set, every pass invocation becomes
+  /// a span event (nested under "optimize <fn>" / "fixpoint round" spans),
+  /// and the config is forwarded into Replication.Trace so the replication
+  /// passes emit their decision records into the same sink.
+  obs::TraceConfig Trace;
 };
 
 /// The individually timed passes of the pipeline, in Figure-3 order.

@@ -12,8 +12,11 @@
 #include "replicate/Replication.h"
 
 #include "cfg/CfgAnalysis.h"
+#include "cfg/FunctionPrinter.h"
+#include "obs/ScopedTimer.h"
 #include "replicate/ShortestPaths.h"
 #include "support/Check.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <map>
@@ -75,6 +78,7 @@ private:
   /// (block label, target label) pairs proven non-replicable.
   std::set<std::pair<int, int>> Skip;
   int64_t GrowthBudget = 0;
+  int Round = 0; ///< 1-based round counter, carried into decision records
 
   /// The round-scoped shortest-path matrix (step 1). It is computed once
   /// per round and *not* recomputed after each replication, exactly as the
@@ -120,17 +124,27 @@ bool JumpsPass::run() {
 }
 
 bool JumpsPass::runRound() {
+  ++Round;
+  obs::ScopedTimer RoundSpan(
+      O.Trace.Sink, "replication round", nullptr,
+      O.Trace.enabled()
+          ? format("\"function\": \"%s\", \"round\": %d",
+                   obs::escapeJson(F.Name).c_str(), Round)
+          : std::string());
   // Step 1 once per round. With a cache, a round that follows a round (or
   // an earlier fixpoint iteration) that left the flow graph untouched
   // reuses the previous matrix, lazily-computed rows included. The dense
   // baseline mode recomputes eagerly every round, as the paper describes.
   if (O.DenseShortestPaths) {
-    OwnedSP = std::make_unique<ShortestPaths>(F, ShortestPaths::Strategy::Dense);
+    OwnedSP = std::make_unique<ShortestPaths>(
+        F, ShortestPaths::Strategy::Dense, O.Trace.Sink);
     RoundSP = OwnedSP.get();
   } else if (Cache) {
+    Cache->setTrace(O.Trace.Sink);
     RoundSP = &Cache->get(F);
   } else {
-    OwnedSP = std::make_unique<ShortestPaths>(F);
+    OwnedSP = std::make_unique<ShortestPaths>(F, ShortestPaths::Strategy::Lazy,
+                                              O.Trace.Sink);
     RoundSP = OwnedSP.get();
   }
   RoundLabels.clear();
@@ -193,10 +207,42 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     return false;
   int TIdx = F.indexOfLabel(TargetLabel);
   CODEREP_CHECK(TIdx >= 0, "jump to unknown label");
-  if (TIdx == BIdx)
+
+  // The structured decision record; built and recorded only when tracing.
+  obs::TraceSink *Sink = O.Trace.Sink;
+  obs::ReplicationDecision D;
+  bool IdReserved = false;
+  if (Sink) {
+    D.Function = F.Name;
+    D.Round = Round;
+    D.JumpLabel = B->Label;
+    D.TargetLabel = TargetLabel;
+  }
+  // The id is reserved lazily at first use (the DOT dumper needs it before
+  // the record is stored), so decisions that bail out unrecorded - a
+  // target block created earlier this same round - leave no id gap.
+  auto decisionId = [&]() {
+    if (Sink && !IdReserved) {
+      D.Id = Sink->reserveDecisionId();
+      IdReserved = true;
+    }
+    return D.Id;
+  };
+  auto record = [&](obs::DecisionOutcome Outcome) {
+    if (!Sink)
+      return;
+    decisionId();
+    D.Outcome = Outcome;
+    Sink->recordDecision(D);
+  };
+
+  if (TIdx == BIdx) {
+    record(obs::DecisionOutcome::SelfLoop);
     return false; // self loop: an infinite loop offers no replacement
+  }
   if (TIdx == BIdx + 1) {
     B->Insns.pop_back(); // jump to next is a plain fall-through
+    record(obs::DecisionOutcome::FallThrough);
     return true;
   }
 
@@ -254,14 +300,18 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     std::vector<int> Path;
     bool FavorLoops;
     int64_t Cost;
+    obs::CandidateKind Kind;
   };
   std::vector<Candidate> Candidates;
   if (!ReturnPath.empty())
-    Candidates.push_back({ReturnPath, false, pathRtls(F, ReturnPath)});
+    Candidates.push_back({ReturnPath, false, pathRtls(F, ReturnPath),
+                          obs::CandidateKind::Return});
   if (!LoopPath.empty())
-    Candidates.push_back({LoopPath, true, pathRtls(F, LoopPath)});
+    Candidates.push_back(
+        {LoopPath, true, pathRtls(F, LoopPath), obs::CandidateKind::Loop});
   if (!IndirectPath.empty())
-    Candidates.push_back({IndirectPath, false, pathRtls(F, IndirectPath)});
+    Candidates.push_back({IndirectPath, false, pathRtls(F, IndirectPath),
+                          obs::CandidateKind::Indirect});
   // Order the attempts by the step-2 heuristic; later candidates are the
   // fallbacks step 6 retries with.
   std::stable_sort(Candidates.begin(), Candidates.end(),
@@ -277,30 +327,86 @@ bool JumpsPass::tryJumpAt(int BIdx) {
                      return false;
                    });
 
-  for (const Candidate &C : Candidates) {
+  if (Sink)
+    for (const Candidate &C : Candidates) {
+      obs::DecisionCandidate DC;
+      DC.Kind = C.Kind;
+      DC.CostRtls = C.Cost;
+      for (int Idx : C.Path)
+        DC.PathLabels.push_back(F.block(Idx)->Label);
+      D.Candidates.push_back(std::move(DC));
+    }
+  auto setFate = [&](size_t I, obs::CandidateFate Fate) {
+    if (Sink)
+      D.Candidates[I].Fate = Fate;
+  };
+
+  // Captured lazily before the first splice attempt so an applied decision
+  // can dump the pre-replication flow graph keyed to its record id.
+  std::string BeforeDot;
+
+  for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+    const Candidate &C = Candidates[CI];
     Plan P;
-    if (!buildPlan(C.Path, BIdx, C.FavorLoops, LI, P))
+    if (!buildPlan(C.Path, BIdx, C.FavorLoops, LI, P)) {
+      setFate(CI, obs::CandidateFate::PlanFailed);
       continue;
-    if (O.MaxSequenceRtls >= 0 && P.TotalRtls > O.MaxSequenceRtls)
+    }
+    if (O.MaxSequenceRtls >= 0 && P.TotalRtls > O.MaxSequenceRtls) {
+      ++S.SkippedLengthCap;
+      setFate(CI, obs::CandidateFate::LengthCap);
       continue;
-    if (P.TotalRtls > GrowthBudget - F.rtlCount())
+    }
+    if (P.TotalRtls > GrowthBudget - F.rtlCount()) {
+      ++S.SkippedGrowthBudget;
+      setFate(CI, obs::CandidateFate::GrowthBudget);
       continue;
+    }
+
+    if (!O.Trace.CfgDotDir.empty() && BeforeDot.empty())
+      BeforeDot = cfg::toDot(
+          F, format("%s before decision %llu", F.Name.c_str(),
+                    static_cast<unsigned long long>(decisionId())));
 
     // Step 6: apply on the real function, validate, roll back on failure.
     // applyPlan mutates nothing when it returns false, and on success its
     // undo log reverses the splice exactly (only the fresh-label counter
     // stays advanced, which no decision observes).
+    int RetargetsBefore = S.Step5Retargets;
+    int StubsBefore = S.StubJumpsAdded;
     UndoLog U;
-    if (!applyPlan(BIdx, P, U))
+    if (!applyPlan(BIdx, P, U)) {
+      setFate(CI, obs::CandidateFate::PlanFailed);
       continue;
+    }
     F.verify();
     if (!isReducible(F)) {
       undo(U);
       ++S.RolledBackIrreducible;
+      setFate(CI, obs::CandidateFate::RolledBackIrreducible);
       continue;
     }
     ++S.JumpsReplaced;
     S.LoopsCompleted += P.LoopsCompleted;
+    if (Sink) {
+      setFate(CI, obs::CandidateFate::Applied);
+      D.Chosen = static_cast<int>(CI);
+      D.LoopsCompleted = P.LoopsCompleted;
+      D.Step5Retargets = S.Step5Retargets - RetargetsBefore;
+      D.StubJumps = S.StubJumpsAdded - StubsBefore;
+      D.ReplicatedRtls = P.TotalRtls;
+    }
+    if (!O.Trace.CfgDotDir.empty()) {
+      std::string Stem =
+          format("%s/%s_d%llu", O.Trace.CfgDotDir.c_str(), F.Name.c_str(),
+                 static_cast<unsigned long long>(decisionId()));
+      obs::TraceSink::writeFile(Stem + "_before.dot", BeforeDot);
+      obs::TraceSink::writeFile(
+          Stem + "_after.dot",
+          cfg::toDot(F, format("%s after decision %llu", F.Name.c_str(),
+                               static_cast<unsigned long long>(D.Id))));
+    }
+    record(obs::DecisionOutcome::Replaced);
     return true;
   }
   // Only blocks whose matrix data was current count as proven failures;
@@ -308,6 +414,8 @@ bool JumpsPass::tryJumpAt(int BIdx) {
   if (!ReturnPath.empty() || !LoopPath.empty() || !IndirectPath.empty())
     Skip.insert({B->Label, TargetLabel});
   ++S.SkippedNoCandidate;
+  record(Candidates.empty() ? obs::DecisionOutcome::NoCandidate
+                            : obs::DecisionOutcome::AllFailed);
   return false;
 }
 
@@ -520,6 +628,14 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
 }
 
 void JumpsPass::undo(const UndoLog &U) {
+  // Undo-log traffic as named metrics: how often step 6 pays for a
+  // speculative splice, and how much it erases when it does.
+  if (obs::TraceSink *Sink = O.Trace.Sink) {
+    Sink->metrics().add("replicate.undo.invocations", 1);
+    Sink->metrics().add("replicate.undo.blocks_erased", U.InsertedCount);
+    Sink->metrics().add("replicate.undo.retargets_reverted",
+                        static_cast<int64_t>(U.Retargets.size()));
+  }
   // Reverse step-5 retargets. The labels are of uncopied blocks, which the
   // erase below does not move out of existence, but resolving them before
   // the erase keeps the lazy label cache warm for at most one rebuild.

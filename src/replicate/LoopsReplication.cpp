@@ -18,6 +18,7 @@
 #include "replicate/Replication.h"
 
 #include "cfg/CfgAnalysis.h"
+#include "obs/ScopedTimer.h"
 #include "support/Check.h"
 
 using namespace coderep;
@@ -76,7 +77,8 @@ bool replaceJumpWithReversedTest(Function &F, int BIdx, int TestIdx) {
 }
 
 /// One LOOPS rewrite. Returns true on change.
-bool loopsOnce(Function &F, ReplicationStats &S) {
+bool loopsOnce(Function &F, ReplicationStats &S,
+               const obs::TraceConfig &Trace, int Round) {
   LoopInfo LI(F);
   for (int B = 0; B < F.size(); ++B) {
     BasicBlock *Blk = F.block(B);
@@ -102,8 +104,30 @@ bool loopsOnce(Function &F, ReplicationStats &S) {
     bool EntryJump = !L->contains(B);
     if (!BackJump && !EntryJump)
       continue;
+    int JumpLabel = Blk->Label;
+    int64_t TestRtls = F.block(TIdx)->rtlCount();
     if (replaceJumpWithReversedTest(F, B, TIdx)) {
       ++S.JumpsReplaced;
+      // LOOPS considers exactly one candidate - the loop's termination
+      // test - so its decision record has a single applied entry.
+      if (obs::TraceSink *Sink = Trace.Sink) {
+        obs::ReplicationDecision D;
+        D.Id = Sink->reserveDecisionId();
+        D.Function = F.Name;
+        D.Round = Round;
+        D.JumpLabel = JumpLabel;
+        D.TargetLabel = Target;
+        obs::DecisionCandidate DC;
+        DC.Kind = obs::CandidateKind::Loop;
+        DC.CostRtls = TestRtls;
+        DC.PathLabels = {Target};
+        DC.Fate = obs::CandidateFate::Applied;
+        D.Candidates.push_back(std::move(DC));
+        D.Chosen = 0;
+        D.Outcome = obs::DecisionOutcome::Replaced;
+        D.ReplicatedRtls = TestRtls;
+        Sink->recordDecision(std::move(D));
+      }
       return true;
     }
   }
@@ -112,12 +136,13 @@ bool loopsOnce(Function &F, ReplicationStats &S) {
 
 } // namespace
 
-bool replicate::runLoops(Function &F, ReplicationStats *Stats) {
+bool replicate::runLoops(Function &F, ReplicationStats *Stats,
+                         const obs::TraceConfig &Trace) {
   ReplicationStats Local;
   ReplicationStats &S = Stats ? *Stats : Local;
   bool Changed = false;
   int Guard = 0;
-  while (loopsOnce(F, S) && Guard++ < 1000)
+  while (loopsOnce(F, S, Trace, Guard + 1) && Guard++ < 1000)
     Changed = true;
   if (Changed)
     removeUnreachableBlocks(F);

@@ -27,6 +27,7 @@
 #define CODEREP_REPLICATE_REPLICATION_H
 
 #include "cfg/Function.h"
+#include "obs/Trace.h"
 
 namespace coderep::replicate {
 
@@ -72,12 +73,23 @@ struct ReplicationOptions {
   /// results are identical either way; bench_compile flips this to
   /// measure the throughput win of the incremental implementation.
   bool DenseShortestPaths = false;
+
+  /// Observability: when Trace.Sink is set, every examined jump emits a
+  /// structured decision record (candidates, costs, fates, rollbacks) and
+  /// replication rounds emit nested span events. A default-constructed
+  /// TraceConfig disables all of it at the cost of one pointer test.
+  obs::TraceConfig Trace;
 };
 
-/// Counters describing what the pass did.
+/// Counters describing what the pass did. The three rejection counters
+/// split the "did not replicate" aggregate by reason, so harnesses can
+/// report *why* jumps survived (step-6 non-reducibility vs. the Section-6
+/// length cap vs. the loop-copy growth backstop).
 struct ReplicationStats {
   int JumpsReplaced = 0;          ///< successfully replaced jumps
-  int RolledBackIrreducible = 0;  ///< step-6 rollbacks
+  int RolledBackIrreducible = 0;  ///< step-6 rollbacks (non-reducible result)
+  int SkippedLengthCap = 0;       ///< candidates over MaxSequenceRtls
+  int SkippedGrowthBudget = 0;    ///< candidates over the loop-blowup budget
   int SkippedNoCandidate = 0;     ///< jumps with no viable sequence
   int LoopsCompleted = 0;         ///< step-3 whole-loop inclusions
   int Step5Retargets = 0;         ///< step-5 branch retargets
@@ -96,7 +108,9 @@ bool runJumps(cfg::Function &F, const ReplicationOptions &Options = {},
               ShortestPathsCache *Cache = nullptr);
 
 /// Loop-condition replication only. Returns true if the function changed.
-bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr);
+/// \p Trace, when enabled, receives one decision record per rewritten jump.
+bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr,
+              const obs::TraceConfig &Trace = {});
 
 } // namespace coderep::replicate
 

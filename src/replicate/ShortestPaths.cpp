@@ -2,6 +2,7 @@
 
 #include "replicate/ShortestPaths.h"
 
+#include "obs/ScopedTimer.h"
 #include "support/Check.h"
 
 #include <algorithm>
@@ -11,7 +12,9 @@ using namespace coderep;
 using namespace coderep::cfg;
 using namespace coderep::replicate;
 
-ShortestPaths::ShortestPaths(const Function &F, Strategy S) : Strat(S) {
+ShortestPaths::ShortestPaths(const Function &F, Strategy S,
+                             obs::TraceSink *Trace)
+    : Strat(S), Trace(Trace) {
   N = F.size();
   BlockCost.resize(N);
   SuccBegin.assign(N + 1, 0);
@@ -84,6 +87,8 @@ const ShortestPaths::Row &ShortestPaths::row(int From) const {
 /// to the source is not a "path" the replication planner can use.
 void ShortestPaths::computeRowDijkstra(int From) const {
   Row &R = materializeRow(From);
+  if (Trace)
+    Trace->metrics().add("sp.rows_computed", 1);
 
   // (dist, node) min-heap; ties pop the smallest block index, which makes
   // the chosen representative among equal-cost paths deterministic.
@@ -122,6 +127,11 @@ void ShortestPaths::computeRowDijkstra(int From) const {
 /// dense baseline. Parent/Hops track the predecessor of V on the U->V
 /// path so path reconstruction works identically to the lazy rows.
 void ShortestPaths::computeAllDense() const {
+  obs::ScopedTimer Span(Trace, "sp dense rebuild");
+  if (Trace) {
+    Trace->metrics().add("sp.dense_rebuilds", 1);
+    Trace->metrics().add("sp.rows_computed", N);
+  }
   for (int U = 0; U < N; ++U)
     materializeRow(U);
 
@@ -254,10 +264,16 @@ ShortestPaths &ShortestPathsCache::get(const Function &F) {
   uint64_t FP = ShortestPaths::fingerprint(F);
   if (SP && FP == Fingerprint) {
     ++Hits;
+    if (Trace)
+      Trace->metrics().add("sp.cache.hits", 1);
     return *SP;
   }
   ++Misses;
+  if (Trace)
+    Trace->metrics().add("sp.cache.misses", 1);
   Fingerprint = FP;
-  SP = std::make_unique<ShortestPaths>(F);
+  obs::ScopedTimer Span(Trace, "shortest-paths rebuild");
+  SP = std::make_unique<ShortestPaths>(F, ShortestPaths::Strategy::Lazy,
+                                       Trace);
   return *SP;
 }

@@ -34,6 +34,7 @@
 #define CODEREP_REPLICATE_SHORTESTPATHS_H
 
 #include "cfg/Function.h"
+#include "obs/Trace.h"
 #include "support/Arena.h"
 
 #include <cstdint>
@@ -54,8 +55,11 @@ public:
     Dense ///< eager Floyd-Warshall over the full matrix
   };
 
-  explicit ShortestPaths(const cfg::Function &F,
-                         Strategy S = Strategy::Lazy);
+  /// \p Trace, when non-null, receives named metrics about the matrix
+  /// work: rows computed lazily ("sp.rows_computed") and dense rebuilds
+  /// ("sp.dense_rebuilds"), plus a span around each dense rebuild.
+  explicit ShortestPaths(const cfg::Function &F, Strategy S = Strategy::Lazy,
+                         obs::TraceSink *Trace = nullptr);
 
   /// Cost of the cheapest path from \p From to \p To in RTLs, counting
   /// every traversed block *except* \p To itself (i.e. exactly the RTLs a
@@ -109,6 +113,7 @@ private:
 
   int N = 0;
   Strategy Strat;
+  obs::TraceSink *Trace = nullptr;
 
   // Flat adjacency (CSR layout): successors of U are
   // SuccData[SuccBegin[U] .. SuccBegin[U+1]). Self-edges and edges out of
@@ -143,11 +148,16 @@ public:
   /// Drops the cached matrix unconditionally.
   void invalidate() { SP.reset(); }
 
+  /// Attaches a trace sink: every get() then bumps the "sp.cache.hits" /
+  /// "sp.cache.misses" metrics and misses are spanned as rebuilds.
+  void setTrace(obs::TraceSink *Sink) { Trace = Sink; }
+
   int hits() const { return Hits; }
   int misses() const { return Misses; }
 
 private:
   std::unique_ptr<ShortestPaths> SP;
+  obs::TraceSink *Trace = nullptr;
   uint64_t Fingerprint = 0;
   int Hits = 0;
   int Misses = 0;
