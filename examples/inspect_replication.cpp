@@ -10,10 +10,12 @@
 // With --trace-out=FILE the run also records span events and one decision
 // record per examined jump, exported as Chrome trace-event JSON; the
 // decision log is echoed to stdout. --metrics-out= and --dot-dir= work as
-// in every other binary (see obs/TraceCli.h).
+// in every other binary (see obs/TraceCli.h), and so do --jobs= and
+// --pipeline-cache= (see cache/PipelineCli.h).
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/PipelineCli.h"
 #include "cfg/CfgAnalysis.h"
 #include "cfg/FunctionPrinter.h"
 #include "driver/Compiler.h"
@@ -29,11 +31,12 @@ using namespace coderep;
 
 int main(int Argc, char **Argv) {
   obs::TraceCli Obs;
+  cache::PipelineCli Pipe;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (!Obs.consume(Arg)) {
-      std::fprintf(stderr, "usage: inspect_replication %s\n",
-                   obs::TraceCli::usage());
+    if (!Obs.consume(Arg) && !Pipe.consume(Arg)) {
+      std::fprintf(stderr, "usage: inspect_replication %s %s\n",
+                   cache::PipelineCli::usage(), obs::TraceCli::usage());
       return 2;
     }
   }
@@ -125,11 +128,11 @@ int main(int Argc, char **Argv) {
 
   // Where the compile time goes: run the full JUMPS pipeline on the same
   // source and print the per-phase timings the driver records.
-  opt::PipelineOptions TracedOpts;
-  TracedOpts.Trace = Obs.config();
-  driver::Compilation C =
-      driver::compile(Source, target::TargetKind::Sparc, opt::OptLevel::Jumps,
-                      Obs.active() ? &TracedOpts : nullptr);
+  opt::PipelineOptions Opts;
+  Opts.Trace = Obs.config();
+  Pipe.apply(Opts);
+  driver::Compilation C = driver::compile(
+      Source, target::TargetKind::Sparc, opt::OptLevel::Jumps, &Opts);
   if (!C.ok()) {
     std::fprintf(stderr, "error: %s\n", C.Error.c_str());
     return 1;
@@ -145,6 +148,11 @@ int main(int Argc, char **Argv) {
               "fixpoint iterations\n",
               C.Pipeline.SpCacheHits, C.Pipeline.SpCacheMisses,
               C.Pipeline.FixpointIterations);
+  std::printf("fixpoint scheduling: %lld pass bodies run, %lld skipped by "
+              "the invalidation matrix, %d quiescent rounds\n",
+              static_cast<long long>(C.Pipeline.FixpointPassesRun),
+              static_cast<long long>(C.Pipeline.FixpointPassesSkipped),
+              C.Pipeline.QuiescentRounds);
 
   // Echo the structured decision log when tracing was requested; the same
   // records ride in the Chrome-trace export as instant events.

@@ -6,6 +6,7 @@
 // Usage:
 //   minic_compiler FILE.mc [--target=m68|sparc] [--level=simple|loops|jumps]
 //                  [--dump] [--input=FILE] [--cache]
+//                  [--jobs=N] [--pipeline-cache[=DIR]]
 //
 // Examples:
 //   ./build/examples/minic_compiler bench/programs/queens.mc --level=jumps
@@ -14,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Suite.h"
+#include "cache/PipelineCli.h"
 #include "cfg/FunctionPrinter.h"
 #include "obs/TraceCli.h"
 #include "support/Format.h"
@@ -41,6 +43,7 @@ int main(int Argc, char **Argv) {
   opt::OptLevel Level = opt::OptLevel::Jumps;
   bool Dump = false, Cache = false;
   obs::TraceCli Obs;
+  cache::PipelineCli Pipe;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -60,7 +63,7 @@ int main(int Argc, char **Argv) {
       Cache = true;
     else if (Arg.rfind("--input=", 0) == 0)
       InputPath = Arg.substr(8);
-    else if (Obs.consume(Arg))
+    else if (Obs.consume(Arg) || Pipe.consume(Arg))
       ; // handled
     else if (Arg[0] != '-')
       Path = Arg;
@@ -73,8 +76,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: minic_compiler FILE.mc [--target=m68|sparc] "
                  "[--level=simple|loops|jumps] [--dump] [--input=FILE] "
-                 "[--cache] %s\n",
-                 obs::TraceCli::usage());
+                 "[--cache] %s %s\n",
+                 cache::PipelineCli::usage(), obs::TraceCli::usage());
     return 2;
   }
 
@@ -89,10 +92,10 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  opt::PipelineOptions TracedOpts;
-  TracedOpts.Trace = Obs.config();
-  driver::Compilation C =
-      driver::compile(Source, TK, Level, Obs.active() ? &TracedOpts : nullptr);
+  opt::PipelineOptions Opts;
+  Opts.Trace = Obs.config();
+  Pipe.apply(Opts);
+  driver::Compilation C = driver::compile(Source, TK, Level, &Opts);
   if (!C.ok()) {
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), C.Error.c_str());
     return 1;

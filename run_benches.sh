@@ -33,5 +33,31 @@ done
 echo "##### bench/bench_compile #####"
 ./build/bench/bench_compile BENCH_compile.json
 echo
+
+# Compare this run against the previous BENCH_history.jsonl entry (the
+# record bench_compile just appended is the last line; the one before it
+# is the previous run). Best-effort: skipped without python3 or history.
+if command -v python3 >/dev/null 2>&1 && [ -f BENCH_history.jsonl ]; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_history.jsonl") as f:
+    runs = [json.loads(line) for line in f if line.strip()]
+if len(runs) < 2:
+    print("bench history: first recorded run, nothing to compare against")
+else:
+    prev, cur = runs[-2], runs[-1]
+    print(f"bench history: comparing against {prev['git_sha']} ({prev['date']})")
+    for key in ("end_to_end_us", "jumps_total_optimized_us",
+                "simple_total_us", "loops_total_us"):
+        p, c = prev.get(key), cur.get(key)
+        if not p or c is None:
+            continue
+        delta = 100.0 * (c - p) / p
+        print(f"  {key}: {p} -> {c} us ({delta:+.1f}%)")
+EOF
+  echo
+fi
+
 echo "##### bench/micro_algorithms #####"
 ./build/bench/micro_algorithms --benchmark_min_time=0.05

@@ -1,0 +1,99 @@
+//===- PipelineCli.h - Shared --jobs/--pipeline-cache handling --*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The throughput counterpart of obs::TraceCli: every example and bench
+/// binary exposes the same two pipeline-speed flags, and this header is the
+/// one place that parses them and owns the resulting cache:
+///
+///   --jobs=N              optimize N functions concurrently
+///                         (N=0 or omitted value = hardware concurrency;
+///                         binaries default to hardware concurrency, the
+///                         library's PipelineOptions default stays serial)
+///   --pipeline-cache=DIR  persist optimized function bodies under DIR and
+///                         serve identical compiles from it; "" (empty DIR)
+///                         selects a process-local in-memory cache
+///
+/// Usage mirrors TraceCli: call consume() on each argv entry (true = it was
+/// one of these flags), then apply() on the PipelineOptions the binary is
+/// about to compile with. Output is byte-identical at any flag value - the
+/// flags only change how fast it is produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_CACHE_PIPELINECLI_H
+#define CODEREP_CACHE_PIPELINECLI_H
+
+#include "cache/CompileCache.h"
+#include "opt/Pipeline.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace coderep::cache {
+
+/// Owns the parsed flag state and (when requested) the PipelineCache for
+/// one binary.
+class PipelineCli {
+public:
+  /// Returns true when \p Arg was one of the pipeline-speed flags.
+  bool consume(const std::string &Arg) {
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      Jobs = std::atoi(Arg.c_str() + 7);
+      if (Jobs < 0)
+        Jobs = 0;
+      return true;
+    }
+    if (Arg == "--jobs") { // bare form: use every core
+      Jobs = 0;
+      return true;
+    }
+    if (Arg.rfind("--pipeline-cache=", 0) == 0) {
+      CacheDir = Arg.substr(17);
+      WantCache = true;
+      return true;
+    }
+    if (Arg == "--pipeline-cache") { // bare form: in-memory only
+      CacheDir.clear();
+      WantCache = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Installs the parsed state into \p Options (creating the cache on
+  /// first use so repeated apply() calls share one store).
+  void apply(opt::PipelineOptions &Options) {
+    Options.Jobs = Jobs;
+    if (WantCache && !Cache)
+      Cache = std::make_unique<PipelineCache>(CacheDir);
+    Options.FunctionCache = Cache.get();
+  }
+
+  /// Parallelism degree: 0 = hardware concurrency (the binaries' default),
+  /// 1 = serial, N = exactly N workers.
+  int jobs() const { return Jobs; }
+
+  /// The cache, when one was requested (for counter reporting); else null.
+  PipelineCache *cache() { return Cache.get(); }
+
+  /// One usage line describing the flags, for --help texts.
+  static const char *usage() {
+    return "[--jobs=N] [--pipeline-cache[=DIR]]";
+  }
+
+private:
+  int Jobs = 0; ///< 0 = hardware concurrency
+  bool WantCache = false;
+  std::string CacheDir;
+  std::unique_ptr<PipelineCache> Cache;
+};
+
+} // namespace coderep::cache
+
+#endif // CODEREP_CACHE_PIPELINECLI_H

@@ -68,6 +68,12 @@ public:
   /// Allocates a label never used before in this function.
   int freshLabel() { return NextLabel++; }
 
+  /// One past the largest label ever allocated. Together with vregLimit()
+  /// this pins the counters that decide which fresh names a transformation
+  /// will pick, so content keys built over it (cache::PipelineCache)
+  /// capture everything that can perturb optimized output bytes.
+  int labelLimit() const { return NextLabel; }
+
   /// Allocates a virtual register never used before in this function.
   int freshVReg() { return NextVReg++; }
 

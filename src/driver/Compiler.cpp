@@ -4,6 +4,9 @@
 
 #include "frontend/CodeGen.h"
 #include "obs/ScopedTimer.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -64,9 +67,23 @@ Compilation driver::compile(const std::string &Source, target::TargetKind TK,
   std::unique_ptr<target::Target> T = target::createTarget(TK);
   {
     obs::ScopedTimer Span(Sink, "legalize");
-    for (auto &F : Result.Prog->Functions) {
-      T->legalizeFunction(*F);
-      F->verify();
+    auto &Fns = Result.Prog->Functions;
+    auto legalizeOne = [&](size_t I) {
+      T->legalizeFunction(*Fns[I]);
+      Fns[I]->verify();
+    };
+    // Legalization is per-function and the target description is
+    // stateless, so it rides the same Jobs knob as the optimizer.
+    size_t Jobs = Options.Jobs == 0
+                      ? std::thread::hardware_concurrency()
+                      : static_cast<size_t>(Options.Jobs);
+    Jobs = std::max<size_t>(1, std::min(Jobs, Fns.size()));
+    if (Jobs <= 1) {
+      for (size_t I = 0; I < Fns.size(); ++I)
+        legalizeOne(I);
+    } else {
+      ThreadPool Pool(static_cast<unsigned>(Jobs));
+      Pool.parallelFor(Fns.size(), legalizeOne);
     }
   }
 

@@ -27,6 +27,17 @@
 /// beyond removing coalesced copies, which CSE already handles for virtual
 /// registers, so the measured quantities are unaffected.
 ///
+/// Compile-throughput engineering (all byte-identical to the literal
+/// loop, differentially tested against it):
+///  * the fixpoint battery is scheduled by a pass-invalidation matrix with
+///    per-pass dirty bits, so passes whose inputs no prior change could
+///    have perturbed are skipped instead of rerun (DESIGN.md section 10);
+///  * optimizeProgram fans independent functions out over a thread pool
+///    (PipelineOptions::Jobs) with per-task stats merged deterministically;
+///  * optimized bodies can be memoized in a content-addressed
+///    FunctionOptimizationCache keyed on (post-legalize RTL, target,
+///    options), so repeated sweeps skip the pipeline entirely.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CODEREP_OPT_PIPELINE_H
@@ -36,7 +47,48 @@
 #include "replicate/Replication.h"
 #include "target/Target.h"
 
+#include <string>
+
 namespace coderep::opt {
+
+struct PipelineOptions;
+struct PipelineStats;
+
+/// Content-addressed memo of optimized function bodies. The pipeline sees
+/// only this interface (the implementation lives in cache/CompileCache.h,
+/// which keeps the dependency pointing from cache to opt): before
+/// optimizing a function, optimizeProgram asks for the key of the
+/// (post-legalize body, target, options) triple, and either adopts a
+/// previously optimized body wholesale or optimizes and publishes the
+/// result. Keys are derived purely from content, and a deterministic
+/// optimizer maps equal keys to equal bodies, so serving a hit is
+/// byte-identical to recompiling. Implementations must be thread-safe:
+/// optimizeProgram consults the cache from every worker when Jobs > 1.
+class FunctionOptimizationCache {
+public:
+  virtual ~FunctionOptimizationCache() = default;
+
+  /// The full content key for optimizing \p F (already legalized for
+  /// \p T) under \p Options. Everything that can perturb the optimized
+  /// bytes must be folded in: the RTL text, frame layout, label/vreg
+  /// counters, the target, and every semantic pipeline option.
+  virtual std::string keyFor(const cfg::Function &F, const target::Target &T,
+                             const PipelineOptions &Options) const = 0;
+
+  /// On a hit, overwrites \p F's body and frame state with the cached
+  /// optimized result and merges the entry's recorded semantic counters
+  /// (replication stats, fixpoint rounds, delay-slot nops - not wall-clock
+  /// phase timings, since no work was done) into \p Stats. Returns false
+  /// on a miss.
+  virtual bool lookup(const std::string &Key, cfg::Function &F,
+                      PipelineStats *Stats) = 0;
+
+  /// Publishes the optimized \p F under \p Key. \p Delta holds the
+  /// counters this function's optimization accumulated, replayed into the
+  /// caller's stats on future hits.
+  virtual void store(const std::string &Key, const cfg::Function &F,
+                     const PipelineStats &Delta) = 0;
+};
 
 /// The three measured configurations of the paper's Section 5.
 enum class OptLevel {
@@ -53,6 +105,26 @@ struct PipelineOptions {
   OptLevel Level = OptLevel::Simple;
   replicate::ReplicationOptions Replication;
   int MaxFixpointIterations = 16;
+
+  /// Functions optimized concurrently by optimizeProgram (functions are
+  /// independent, so the fan-out is safe): 1 = serial, 0 = hardware
+  /// concurrency. Output is byte-identical at any value; stats are merged
+  /// in function order so they are deterministic too.
+  int Jobs = 1;
+
+  /// Schedule fixpoint passes with the pass-invalidation matrix and
+  /// per-pass dirty bits (see DESIGN.md section 10): a pass body runs only
+  /// when some pass that can perturb its input changed the function since
+  /// it last ran clean. false reruns the whole battery every round, which
+  /// is the paper-literal Figure-3 loop and the oracle the scheduled
+  /// pipeline is differentially tested against - output is byte-identical
+  /// either way.
+  bool ChangeDrivenScheduling = true;
+
+  /// When set, optimizeProgram memoizes optimized function bodies keyed by
+  /// (post-legalize RTL, target, options) content. Not owned. Hits bypass
+  /// the whole per-function pipeline; see FunctionOptimizationCache.
+  FunctionOptimizationCache *FunctionCache = nullptr;
 
   /// Observability: when Trace.Sink is set, every pass invocation becomes
   /// a span event (nested under "optimize <fn>" / "fixpoint round" spans),
@@ -84,6 +156,12 @@ inline constexpr int NumPhases = 14;
 const char *phaseName(Phase P);
 
 /// What the pipeline did (aggregated over all fixpoint rounds).
+///
+/// Aggregation protocol: the parallel driver gives every function its own
+/// zero-initialized local stats and folds the locals into the caller's
+/// struct with operator+= in function order, so the totals are
+/// deterministic at any Jobs value. Nothing in the pipeline mutates a
+/// shared PipelineStats from more than one thread.
 struct PipelineStats {
   replicate::ReplicationStats Replication;
   int FixpointIterations = 0;
@@ -95,13 +173,43 @@ struct PipelineStats {
   int SpCacheHits = 0;
   int SpCacheMisses = 0;
 
+  /// Change-driven scheduling counters for the Figure-3 fixpoint loop.
+  /// The scheduled and rerun-everything drivers execute identical round
+  /// counts (a change always leaves a dirty bit that survives its round),
+  /// so unconditionally Run + Skipped == NumFixpointPasses * rounds ==
+  /// the pass bodies the legacy loop executes on the same input: Skipped
+  /// measures exactly the bodies the invalidation matrix avoided. The
+  /// legacy driver counts every body as Run and skips nothing.
+  int64_t FixpointPassesRun = 0;
+  int64_t FixpointPassesSkipped = 0;
+
+  /// Final verification rounds: one per function whose fixpoint loop
+  /// converged within MaxFixpointIterations. The legacy loop burns the
+  /// whole battery on that round to discover that nothing changes; the
+  /// scheduler executes only the passes the last change could have
+  /// perturbed and skips the rest.
+  int QuiescentRounds = 0;
+
+  /// FunctionOptimizationCache behavior, when one was attached.
+  int FunctionCacheHits = 0;
+  int FunctionCacheMisses = 0;
+
   /// Wall-clock microseconds spent inside each pass, summed over every
   /// invocation (most passes run once per fixpoint iteration).
   int64_t PhaseMicros[NumPhases] = {};
 
   /// Sum of PhaseMicros.
   int64_t totalMicros() const;
+
+  /// Element-wise accumulation, used to fold per-function (or per-task)
+  /// locals into a program-level aggregate.
+  PipelineStats &operator+=(const PipelineStats &Other);
+  void merge(const PipelineStats &Other) { *this += Other; }
 };
+
+/// Number of passes inside the Figure-3 fixpoint loop (the unit of the
+/// FixpointPassesRun/Skipped counters).
+inline constexpr int NumFixpointPasses = 10;
 
 /// Optimizes one function in place. The function must already be legal for
 /// \p T (see Target::legalizeFunction).
@@ -109,7 +217,11 @@ void optimizeFunction(cfg::Function &F, const target::Target &T,
                       const PipelineOptions &Options,
                       PipelineStats *Stats = nullptr);
 
-/// Optimizes every function of \p P.
+/// Optimizes every function of \p P. With Options.Jobs != 1 the functions
+/// are fanned out over a thread pool (each gets private stats, merged back
+/// in function order); with Options.FunctionCache set, previously optimized
+/// identical functions are served from the cache. Output is byte-identical
+/// to the serial, uncached pipeline in every configuration.
 void optimizeProgram(cfg::Program &P, const target::Target &T,
                      const PipelineOptions &Options,
                      PipelineStats *Stats = nullptr);

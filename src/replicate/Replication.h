@@ -94,6 +94,20 @@ struct ReplicationStats {
   int LoopsCompleted = 0;         ///< step-3 whole-loop inclusions
   int Step5Retargets = 0;         ///< step-5 branch retargets
   int StubJumpsAdded = 0;         ///< explicit jumps materialized in copies
+
+  /// Element-wise accumulation (used by opt::PipelineStats::merge to fold
+  /// per-function locals into a program-level aggregate).
+  ReplicationStats &operator+=(const ReplicationStats &O) {
+    JumpsReplaced += O.JumpsReplaced;
+    RolledBackIrreducible += O.RolledBackIrreducible;
+    SkippedLengthCap += O.SkippedLengthCap;
+    SkippedGrowthBudget += O.SkippedGrowthBudget;
+    SkippedNoCandidate += O.SkippedNoCandidate;
+    LoopsCompleted += O.LoopsCompleted;
+    Step5Retargets += O.Step5Retargets;
+    StubJumpsAdded += O.StubJumpsAdded;
+    return *this;
+  }
 };
 
 class ShortestPathsCache;
