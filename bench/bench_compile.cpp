@@ -60,6 +60,9 @@ struct ConfigTotals {
   int64_t ReplicationUs = 0;
   int SpCacheHits = 0;
   int SpCacheMisses = 0;
+  int64_t AnalysisHits = 0;
+  int64_t AnalysisRecomputes = 0;
+  int64_t LivenessRecomputes = 0;
 };
 
 /// Result of the fastest of several repeated compiles.
@@ -68,6 +71,9 @@ struct OneCompile {
   int64_t ReplicationUs = 0;
   int SpCacheHits = 0;
   int SpCacheMisses = 0;
+  int64_t AnalysisHits = 0;
+  int64_t AnalysisRecomputes = 0;
+  int64_t LivenessRecomputes = 0;
 };
 
 const char *targetName(target::TargetKind TK) {
@@ -114,6 +120,11 @@ OneCompile timedCompile(const BenchProgram &BP, target::TargetKind TK,
           C.Pipeline.PhaseMicros[static_cast<int>(opt::Phase::Replication)];
       Best.SpCacheHits = C.Pipeline.SpCacheHits;
       Best.SpCacheMisses = C.Pipeline.SpCacheMisses;
+      Best.AnalysisHits = C.Pipeline.Analysis.totalHits();
+      Best.AnalysisRecomputes = C.Pipeline.Analysis.totalRecomputes();
+      Best.LivenessRecomputes =
+          C.Pipeline.Analysis
+              .Recomputes[static_cast<int>(opt::AnalysisID::Liveness)];
     }
   }
   return Best;
@@ -180,6 +191,9 @@ int main(int argc, char **argv) {
   opt::PipelineOptions Baseline;
   Baseline.Replication.DenseShortestPaths = true;
   Baseline.ChangeDrivenScheduling = false;
+  // ... and every CFG/dataflow analysis recomputed at each query instead of
+  // served from the per-function AnalysisManager.
+  Baseline.CacheAnalyses = false;
 
   // One task per (target, program): four timed configurations each. Tasks
   // fan out over the pool; each compile inside a task stays serial so the
@@ -247,10 +261,16 @@ int main(int argc, char **argv) {
     BaselineTotals.ReplicationUs += B.ReplicationUs;
     BaselineTotals.SpCacheHits += B.SpCacheHits;
     BaselineTotals.SpCacheMisses += B.SpCacheMisses;
+    BaselineTotals.AnalysisHits += B.AnalysisHits;
+    BaselineTotals.AnalysisRecomputes += B.AnalysisRecomputes;
+    BaselineTotals.LivenessRecomputes += B.LivenessRecomputes;
     OptimizedTotals.TotalUs += O.Us;
     OptimizedTotals.ReplicationUs += O.ReplicationUs;
     OptimizedTotals.SpCacheHits += O.SpCacheHits;
     OptimizedTotals.SpCacheMisses += O.SpCacheMisses;
+    OptimizedTotals.AnalysisHits += O.AnalysisHits;
+    OptimizedTotals.AnalysisRecomputes += O.AnalysisRecomputes;
+    OptimizedTotals.LivenessRecomputes += O.LivenessRecomputes;
     SimpleUs += Results[I].Simple.Us;
     LoopsUs += Results[I].Loops.Us;
 
@@ -330,10 +350,11 @@ int main(int argc, char **argv) {
                static_cast<long long>(EndToEndUs));
   std::fprintf(F, "  \"baseline\": \"paper-literal: dense Floyd-Warshall "
                   "shortest paths recomputed every replication round, "
-                  "rerun-everything fixpoint loop\",\n");
+                  "rerun-everything fixpoint loop, every analysis "
+                  "recomputed per query\",\n");
   std::fprintf(F, "  \"optimized\": \"lazy per-source Dijkstra rows with "
                   "cross-round fingerprint-validated cache, change-driven "
-                  "pass scheduling\",\n");
+                  "pass scheduling, epoch-stamped analysis manager\",\n");
   std::fprintf(F, "  \"jumps_total_baseline_us\": %lld,\n",
                static_cast<long long>(BaselineTotals.TotalUs));
   std::fprintf(F, "  \"jumps_total_optimized_us\": %lld,\n",
@@ -346,6 +367,16 @@ int main(int argc, char **argv) {
   std::fprintf(F, "  \"sp_cache_hits\": %d,\n", OptimizedTotals.SpCacheHits);
   std::fprintf(F, "  \"sp_cache_misses\": %d,\n",
                OptimizedTotals.SpCacheMisses);
+  std::fprintf(F, "  \"analysis_cache_hits\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.AnalysisHits));
+  std::fprintf(F, "  \"analysis_recomputes_baseline\": %lld,\n",
+               static_cast<long long>(BaselineTotals.AnalysisRecomputes));
+  std::fprintf(F, "  \"analysis_recomputes_optimized\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.AnalysisRecomputes));
+  std::fprintf(F, "  \"liveness_recomputes_baseline\": %lld,\n",
+               static_cast<long long>(BaselineTotals.LivenessRecomputes));
+  std::fprintf(F, "  \"liveness_recomputes_optimized\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.LivenessRecomputes));
   std::fprintf(F, "  \"simple_total_us\": %lld,\n",
                static_cast<long long>(SimpleUs));
   std::fprintf(F, "  \"loops_total_us\": %lld,\n",
@@ -369,12 +400,22 @@ int main(int argc, char **argv) {
           "\"repetitions\": %d, \"end_to_end_us\": %lld, "
           "\"jumps_total_baseline_us\": %lld, "
           "\"jumps_total_optimized_us\": %lld, \"jumps_speedup\": %.3f, "
-          "\"simple_total_us\": %lld, \"loops_total_us\": %lld}\n",
+          "\"simple_total_us\": %lld, \"loops_total_us\": %lld, "
+          "\"analysis_cache_hits\": %lld, "
+          "\"analysis_recomputes_baseline\": %lld, "
+          "\"analysis_recomputes_optimized\": %lld, "
+          "\"liveness_recomputes_baseline\": %lld, "
+          "\"liveness_recomputes_optimized\": %lld}\n",
           isoUtcNow().c_str(), gitSha().c_str(), Jobs, Reps,
           static_cast<long long>(EndToEndUs),
           static_cast<long long>(BaselineTotals.TotalUs),
           static_cast<long long>(OptimizedTotals.TotalUs), Speedup,
-          static_cast<long long>(SimpleUs), static_cast<long long>(LoopsUs));
+          static_cast<long long>(SimpleUs), static_cast<long long>(LoopsUs),
+          static_cast<long long>(OptimizedTotals.AnalysisHits),
+          static_cast<long long>(BaselineTotals.AnalysisRecomputes),
+          static_cast<long long>(OptimizedTotals.AnalysisRecomputes),
+          static_cast<long long>(BaselineTotals.LivenessRecomputes),
+          static_cast<long long>(OptimizedTotals.LivenessRecomputes));
       std::fclose(H);
       std::printf("appended run record to %s\n", HistoryPath.c_str());
     } else {
@@ -383,6 +424,13 @@ int main(int argc, char **argv) {
     }
   }
 
+  std::printf("\nanalysis cache: %lld hits, %lld recomputes (baseline "
+              "recomputes %lld); liveness recomputes %lld -> %lld\n",
+              static_cast<long long>(OptimizedTotals.AnalysisHits),
+              static_cast<long long>(OptimizedTotals.AnalysisRecomputes),
+              static_cast<long long>(BaselineTotals.AnalysisRecomputes),
+              static_cast<long long>(BaselineTotals.LivenessRecomputes),
+              static_cast<long long>(OptimizedTotals.LivenessRecomputes));
   std::printf("\ntotal JUMPS compile: baseline %lld us, optimized %lld us, "
               "speedup %.2fx (end-to-end %lld us with %u jobs)\n",
               static_cast<long long>(BaselineTotals.TotalUs),

@@ -9,9 +9,16 @@
 //
 // Build and run:  ./build/examples/cache_study
 //
+// The usual observability and pipeline-speed flags apply (--trace-out=,
+// --metrics-out=, --jobs=, --no-analysis-cache, ...): the trace shows each
+// "analysis: <name>" recompute span inside the three compiles, and the
+// metrics include the per-analysis hit/recompute counters.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Suite.h"
+#include "cache/PipelineCli.h"
+#include "obs/TraceCli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -19,7 +26,20 @@
 using namespace coderep;
 using namespace coderep::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  obs::TraceCli Obs;
+  cache::PipelineCli Pipe;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!Obs.consume(Arg) && !Pipe.consume(Arg)) {
+      std::fprintf(stderr, "usage: cache_study %s %s\n",
+                   cache::PipelineCli::usage(), obs::TraceCli::usage());
+      return 1;
+    }
+  }
+  opt::PipelineOptions Opts;
+  Pipe.apply(Opts);
+
   const BenchProgram &BP = program("quicksort");
 
   std::vector<cache::CacheConfig> Configs;
@@ -44,7 +64,8 @@ int main() {
   std::vector<uint64_t> SimpleCost;
   for (opt::OptLevel Level : {opt::OptLevel::Simple, opt::OptLevel::Loops,
                               opt::OptLevel::Jumps}) {
-    MeasuredRun R = measure(BP, target::TargetKind::Sparc, Level, Configs);
+    MeasuredRun R = measure(BP, target::TargetKind::Sparc, Level, Configs,
+                            &Opts, Obs.sink());
     std::vector<std::string> Row = {opt::optLevelName(Level),
                                     format("%d", R.Static.Instructions * 4)};
     for (size_t I = 0; I < Configs.size(); ++I) {
@@ -66,5 +87,5 @@ int main() {
   }
   std::printf("%s\n", Table.render().c_str());
   std::printf("cells: miss ratio (fetch-cost change vs SIMPLE)\n");
-  return 0;
+  return Obs.finish() ? 0 : 1;
 }

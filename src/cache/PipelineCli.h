@@ -17,6 +17,9 @@
 ///   --pipeline-cache=DIR  persist optimized function bodies under DIR and
 ///                         serve identical compiles from it; "" (empty DIR)
 ///                         selects a process-local in-memory cache
+///   --no-analysis-cache   recompute every CFG/dataflow analysis at every
+///                         query instead of serving it from the per-function
+///                         AnalysisManager (the always-recompute oracle)
 ///
 /// Usage mirrors TraceCli: call consume() on each argv entry (true = it was
 /// one of these flags), then apply() on the PipelineOptions the binary is
@@ -63,6 +66,10 @@ public:
       WantCache = true;
       return true;
     }
+    if (Arg == "--no-analysis-cache") {
+      CacheAnalyses = false;
+      return true;
+    }
     return false;
   }
 
@@ -70,6 +77,7 @@ public:
   /// first use so repeated apply() calls share one store).
   void apply(opt::PipelineOptions &Options) {
     Options.Jobs = Jobs;
+    Options.CacheAnalyses = CacheAnalyses;
     if (WantCache && !Cache)
       Cache = std::make_unique<PipelineCache>(CacheDir);
     Options.FunctionCache = Cache.get();
@@ -84,11 +92,12 @@ public:
 
   /// One usage line describing the flags, for --help texts.
   static const char *usage() {
-    return "[--jobs=N] [--pipeline-cache[=DIR]]";
+    return "[--jobs=N] [--pipeline-cache[=DIR]] [--no-analysis-cache]";
   }
 
 private:
   int Jobs = 0; ///< 0 = hardware concurrency
+  bool CacheAnalyses = true;
   bool WantCache = false;
   std::string CacheDir;
   std::unique_ptr<PipelineCache> Cache;

@@ -1,0 +1,92 @@
+//===- AnalysisCache.cpp - Epoch-cached CFG-shape analyses -------------------===//
+
+#include "cfg/AnalysisCache.h"
+
+using namespace coderep;
+using namespace coderep::cfg;
+
+std::shared_ptr<const FlatCfg> AnalysisCache::flatCfgShared() {
+  if (fresh(Flat)) {
+    ++Stats.Hits[FlatCfgKind];
+    return Flat.Ptr;
+  }
+  Flat.Ptr = std::make_shared<const FlatCfg>(F);
+  Flat.Stamp = F.analysisEpoch();
+  ++Stats.Recomputes[FlatCfgKind];
+  return Flat.Ptr;
+}
+
+std::shared_ptr<const Dominators> AnalysisCache::dominatorsShared() {
+  if (fresh(Dom)) {
+    ++Stats.Hits[DominatorsKind];
+    return Dom.Ptr;
+  }
+  std::shared_ptr<const FlatCfg> FlatNow = flatCfgShared();
+  Dom.Ptr = std::make_shared<const Dominators>(F, *FlatNow);
+  Dom.Stamp = F.analysisEpoch();
+  ++Stats.Recomputes[DominatorsKind];
+  return Dom.Ptr;
+}
+
+std::shared_ptr<const LoopInfo> AnalysisCache::loopsShared() {
+  if (fresh(Loops)) {
+    ++Stats.Hits[LoopsKind];
+    return Loops.Ptr;
+  }
+  std::shared_ptr<const FlatCfg> FlatNow = flatCfgShared();
+  std::shared_ptr<const Dominators> DomNow = dominatorsShared();
+  Loops.Ptr = std::make_shared<const LoopInfo>(F, *FlatNow, *DomNow);
+  Loops.Stamp = F.analysisEpoch();
+  ++Stats.Recomputes[LoopsKind];
+  return Loops.Ptr;
+}
+
+template <typename T>
+void AnalysisCache::keepOrDrop(Slot<T> &S, bool Keep, uint64_t Before,
+                               uint64_t Now, Kind K) {
+  if (!S.Ptr)
+    return;
+  // An entry computed at or after Before reflects either the state the
+  // keeping pass started from or an intermediate state it declared
+  // equivalent for this kind; restamp it to the new epoch. Anything older
+  // predates edits the pass did not vouch for: drop it.
+  if (Keep && S.Stamp >= Before) {
+    S.Stamp = Now;
+    return;
+  }
+  S.Ptr.reset();
+  ++Stats.Invalidations[K];
+}
+
+void AnalysisCache::commit(uint64_t BeforeEpoch, bool KeepFlatCfg,
+                           bool KeepDominators, bool KeepLoops) {
+  const uint64_t Now = F.analysisEpoch();
+  keepOrDrop(Flat, KeepFlatCfg, BeforeEpoch, Now, FlatCfgKind);
+  keepOrDrop(Dom, KeepDominators, BeforeEpoch, Now, DominatorsKind);
+  keepOrDrop(Loops, KeepLoops, BeforeEpoch, Now, LoopsKind);
+}
+
+AnalysisCache::Snapshot AnalysisCache::snapshot() const {
+  Snapshot S;
+  S.Epoch = F.analysisEpoch();
+  S.Flat = Flat.Ptr;
+  S.Dom = Dom.Ptr;
+  S.Loops = Loops.Ptr;
+  S.Stamps[FlatCfgKind] = Flat.Stamp;
+  S.Stamps[DominatorsKind] = Dom.Stamp;
+  S.Stamps[LoopsKind] = Loops.Stamp;
+  return S;
+}
+
+void AnalysisCache::restore(const Snapshot &S) {
+  F.restoreAnalysisEpoch(S.Epoch);
+  if (Flat.Ptr && Flat.Ptr != S.Flat)
+    ++Stats.Invalidations[FlatCfgKind];
+  if (Dom.Ptr && Dom.Ptr != S.Dom)
+    ++Stats.Invalidations[DominatorsKind];
+  if (Loops.Ptr && Loops.Ptr != S.Loops)
+    ++Stats.Invalidations[LoopsKind];
+  Flat = {S.Flat, S.Stamps[FlatCfgKind]};
+  Dom = {S.Dom, S.Stamps[DominatorsKind]};
+  Loops = {S.Loops, S.Stamps[LoopsKind]};
+}

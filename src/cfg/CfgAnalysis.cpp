@@ -112,8 +112,9 @@ static std::vector<int> computeIdom(const FlatCfg &Flat,
   return Idom;
 }
 
-Dominators::Dominators(const Function &F) {
-  FlatCfg Flat(F);
+Dominators::Dominators(const Function &F) : Dominators(F, FlatCfg(F)) {}
+
+Dominators::Dominators(const Function &, const FlatCfg &Flat) {
   Idom = computeIdom(Flat, reversePostorderFlat(Flat));
 }
 
@@ -135,15 +136,19 @@ bool NaturalLoop::contains(int Index) const {
   return std::binary_search(Blocks.begin(), Blocks.end(), Index);
 }
 
-LoopInfo::LoopInfo(const Function &F) {
-  FlatCfg Flat(F);
-  std::vector<int> Rpo = reversePostorderFlat(Flat);
-  std::vector<int> Idom = computeIdom(Flat, Rpo);
-  // Reachability falls out of the RPO walk: unreachable blocks are the
-  // ones the DFS never numbered.
+LoopInfo::LoopInfo(const Function &F) : LoopInfo(F, FlatCfg(F)) {}
+
+LoopInfo::LoopInfo(const Function &F, const FlatCfg &Flat)
+    : LoopInfo(F, Flat, Dominators(F, Flat)) {}
+
+LoopInfo::LoopInfo(const Function &F, const FlatCfg &Flat,
+                   const Dominators &Dom) {
+  // Reachability falls out of the dominator computation: every reachable
+  // block except the entry received an immediate dominator, and
+  // unreachable blocks received none.
   std::vector<bool> Reachable(F.size(), false);
-  for (int B : Rpo)
-    Reachable[B] = true;
+  for (int B = 0; B < F.size(); ++B)
+    Reachable[B] = B == 0 || Dom.idom(B) >= 0;
 
   auto dominates = [&](int A, int B) {
     // B is known reachable here.
@@ -152,7 +157,7 @@ LoopInfo::LoopInfo(const Function &F) {
         return true;
       if (B == 0)
         return false;
-      B = Idom[B];
+      B = Dom.idom(B);
       if (B < 0)
         return false;
     }

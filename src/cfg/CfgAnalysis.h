@@ -21,6 +21,8 @@
 
 namespace coderep::cfg {
 
+class FlatCfg;
+
 /// Returns a bit per block: reachable from the entry block.
 std::vector<bool> reachableBlocks(const Function &F);
 
@@ -37,6 +39,11 @@ std::vector<int> reversePostorder(const Function &F);
 class Dominators {
 public:
   explicit Dominators(const Function &F);
+
+  /// As above, but reuses a prebuilt CSR snapshot of \p F's flow graph
+  /// (cfg::AnalysisCache builds the FlatCfg once and feeds it to every
+  /// shape analysis). \p Flat must describe \p F's current state.
+  Dominators(const Function &F, const FlatCfg &Flat);
 
   /// True if block \p A dominates block \p B. Unreachable blocks dominate
   /// nothing and are dominated by nothing.
@@ -62,6 +69,13 @@ struct NaturalLoop {
 class LoopInfo {
 public:
   explicit LoopInfo(const Function &F);
+
+  /// As above, but reuses a prebuilt CSR snapshot and (optionally) a
+  /// dominator tree (cfg::AnalysisCache shares one FlatCfg and Dominators
+  /// build across the shape analyses). Both must describe \p F's current
+  /// state.
+  LoopInfo(const Function &F, const FlatCfg &Flat);
+  LoopInfo(const Function &F, const FlatCfg &Flat, const Dominators &Dom);
 
   const std::vector<NaturalLoop> &loops() const { return Loops; }
 

@@ -99,6 +99,32 @@ public:
   /// structural fingerprint (see replicate::ShortestPaths::fingerprint).
   uint64_t cfgVersion() const { return Version; }
 
+  /// The analysis epoch: a counter bumped by every block-list mutation AND
+  /// by noteRtlEdit(), the hook passes call after in-place RTL edits. An
+  /// analysis result stamped with the epoch it was computed at is valid
+  /// exactly while the function's epoch still equals that stamp (see
+  /// cfg::AnalysisCache / opt::AnalysisManager). Unlike cfgVersion() this
+  /// is not strictly monotonic over time: restoreAnalysisEpoch() winds it
+  /// back when a transformation is rolled back byte-for-byte.
+  uint64_t analysisEpoch() const { return AnalysisEpoch; }
+
+  /// Declares that RTLs inside blocks were edited in place (the block list
+  /// itself is unchanged, so cfgVersion() stays put). Every pass mutation
+  /// path must reach either this hook or a block-list mutator before any
+  /// further analysis query, or cached analyses go stale.
+  void noteRtlEdit() { ++AnalysisEpoch; }
+
+  /// Rolls the analysis epoch back to \p Epoch, a value previously read
+  /// from analysisEpoch(). Only valid when the function bytes have been
+  /// restored to exactly the state they had at that reading (the JUMPS
+  /// undo-log rollback); cached analyses stamped at \p Epoch then describe
+  /// the function again.
+  void restoreAnalysisEpoch(uint64_t Epoch) {
+    CODEREP_CHECK(Epoch <= AnalysisEpoch,
+                  "analysis epoch may only be restored backwards");
+    AnalysisEpoch = Epoch;
+  }
+
   /// Predecessor lists for every block.
   std::vector<std::vector<int>> predecessors() const;
 
@@ -130,12 +156,14 @@ private:
   int NextVReg = rtl::FirstVirtual;
 
   uint64_t Version = 0;
+  uint64_t AnalysisEpoch = 0;
 
   mutable std::unordered_map<int, int> LabelCache;
   mutable bool LabelCacheValid = false;
   void invalidateLabelCache() {
     LabelCacheValid = false;
     ++Version;
+    ++AnalysisEpoch;
   }
 };
 

@@ -91,6 +91,15 @@ Compilation driver::compile(const std::string &Source, target::TargetKind TK,
     obs::ScopedTimer Span(Sink, "optimize");
     opt::optimizeProgram(*Result.Prog, *T, Options, &Result.Pipeline);
   }
+  if (Sink) {
+    // Whole-compile rollup of the per-function analysis caches (the
+    // per-analysis split lives under the analysis.<name>.* keys).
+    const opt::AnalysisCounters &A = Result.Pipeline.Analysis;
+    Sink->metrics().set("driver.analysis_hits", A.totalHits());
+    Sink->metrics().set("driver.analysis_recomputes", A.totalRecomputes());
+    Sink->metrics().set("driver.analysis_invalidations",
+                        A.totalInvalidations());
+  }
   Result.Static = staticStats(*Result.Prog);
   return Result;
 }

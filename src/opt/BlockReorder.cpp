@@ -132,3 +132,44 @@ bool opt::runMergeFallthroughs(Function &F) {
   }
   return Changed;
 }
+
+namespace {
+
+// Reordering and merging both restructure the block list outright, so a
+// change invalidates every shape and dataflow result. The shortest-path
+// matrix stays marked preserved: it is fingerprint-revalidated on every
+// reuse (and such a change always perturbs the fingerprint).
+
+class BlockReorderPass final : public Pass {
+public:
+  const char *name() const override { return "block reordering"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runBlockReorder(F);
+    R.Preserved =
+        PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths);
+    return R;
+  }
+};
+
+class MergeFallthroughsPass final : public Pass {
+public:
+  const char *name() const override { return "fall-through merging"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runMergeFallthroughs(F);
+    R.Preserved =
+        PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths);
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createBlockReorderPass() {
+  return std::make_unique<BlockReorderPass>();
+}
+
+std::unique_ptr<Pass> opt::createMergeFallthroughsPass() {
+  return std::make_unique<MergeFallthroughsPass>();
+}

@@ -116,3 +116,46 @@ bool opt::runBranchChaining(Function &F) {
 bool opt::runUnreachableElim(Function &F) {
   return removeUnreachableBlocks(F) > 0;
 }
+
+namespace {
+
+// Both passes here rewrite the flow graph itself (retargeted edges,
+// erased blocks), so a change invalidates every shape and dataflow
+// result. The shortest-path matrix is still marked preserved: it
+// revalidates itself against a structural fingerprint on every reuse
+// (which any such change perturbs), and the seed pipeline never dropped
+// it eagerly either.
+
+class BranchChainingPass final : public Pass {
+public:
+  const char *name() const override { return "branch chaining"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runBranchChaining(F);
+    R.Preserved =
+        PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths);
+    return R;
+  }
+};
+
+class UnreachableElimPass final : public Pass {
+public:
+  const char *name() const override { return "unreachable elimination"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runUnreachableElim(F);
+    R.Preserved =
+        PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths);
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createBranchChainingPass() {
+  return std::make_unique<BranchChainingPass>();
+}
+
+std::unique_ptr<Pass> opt::createUnreachableElimPass() {
+  return std::make_unique<UnreachableElimPass>();
+}

@@ -68,7 +68,8 @@ int findPreheader(Function &F, const NaturalLoop &Loop) {
 
 /// Creates a preheader for \p Loop. Invalidates all analyses and block
 /// indices; the caller must restart.
-void createPreheader(Function &F, const NaturalLoop &Loop) {
+void createPreheader(Function &F, AnalysisManager &AM,
+                     const NaturalLoop &Loop) {
   int H = Loop.Header;
   int HLabel = F.block(H)->Label;
   // An in-loop block falling through into the header must jump explicitly
@@ -89,8 +90,10 @@ void createPreheader(Function &F, const NaturalLoop &Loop) {
   int NewLabel = F.block(H)->Label;
   // Out-of-loop branches into the loop now enter through the preheader.
   // Recompute loop membership (indices shifted) so back-edge branches keep
-  // targeting the header itself.
-  LoopInfo LI(F);
+  // targeting the header itself. The insertBlock above moved the epoch,
+  // so this is a fresh build; \p Loop stays alive because the caller
+  // pins its LoopInfo with a shared handle.
+  const LoopInfo &LI = AM.loops();
   const NaturalLoop *Fresh = nullptr;
   for (const NaturalLoop &L : LI.loops())
     if (F.block(L.Header)->Label == HLabel)
@@ -99,12 +102,18 @@ void createPreheader(Function &F, const NaturalLoop &Loop) {
   retargetBranches(F, HLabel, NewLabel, *Fresh, H);
 }
 
-/// One hoisting attempt over the whole function. Returns true on change
-/// (analyses are then stale and the driver restarts).
-bool hoistOnce(Function &F) {
-  LoopInfo LI(F);
-  Dominators Dom(F);
-  Liveness LV(F);
+/// One hoisting attempt over the whole function. Returns true on change,
+/// after committing the change's effect on cached analyses (so the next
+/// attempt's queries are sound: loop info and dominators survive a chain
+/// of in-block hoists, liveness is recomputed).
+bool hoistOnce(Function &F, AnalysisManager &AM) {
+  // Pin loops and dominators: createPreheader re-queries loop info
+  // mid-attempt, which replaces the cache entries these refer to.
+  std::shared_ptr<const LoopInfo> LIHandle = AM.loopsShared();
+  std::shared_ptr<const Dominators> DomHandle = AM.dominatorsShared();
+  const LoopInfo &LI = *LIHandle;
+  const Dominators &Dom = *DomHandle;
+  const Liveness &LV = AM.liveness();
   const RegUniverse &U = LV.universe();
 
   for (const NaturalLoop &Loop : LI.loops()) {
@@ -174,8 +183,12 @@ bool hoistOnce(Function &F) {
         // Find or create the preheader.
         int P = findPreheader(F, Loop);
         if (P < 0) {
-          createPreheader(F, Loop);
-          return true; // structure changed; restart with fresh analyses
+          createPreheader(F, AM, Loop);
+          // Structure changed (blocks inserted, branches retargeted):
+          // nothing survives; the restart recomputes.
+          AM.noteEdit(
+              PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths));
+          return true;
         }
         BasicBlock *Pre = F.block(P);
         Insn Hoisted = X;
@@ -184,6 +197,10 @@ bool hoistOnce(Function &F) {
           Pre->Insns.insert(Pre->Insns.end() - 1, Hoisted);
         else
           Pre->Insns.push_back(Hoisted);
+        // A plain hoist moves one non-transfer RTL between existing
+        // blocks: the flow graph is untouched, so loop info and
+        // dominators carry into the next attempt; liveness does not.
+        AM.noteEdit(PreservedAnalyses::cfgShape());
         return true;
       }
     }
@@ -194,9 +211,36 @@ bool hoistOnce(Function &F) {
 } // namespace
 
 bool opt::runCodeMotion(Function &F) {
+  AnalysisManager AM(F, /*CacheEnabled=*/false);
+  return runCodeMotion(F, AM);
+}
+
+bool opt::runCodeMotion(Function &F, AnalysisManager &AM) {
   bool Changed = false;
   int Guard = 0;
-  while (hoistOnce(F) && Guard++ < 10000)
+  while (hoistOnce(F, AM) && Guard++ < 10000)
     Changed = true;
   return Changed;
+}
+
+namespace {
+
+class CodeMotionPass final : public Pass {
+public:
+  const char *name() const override { return "code motion"; }
+  PassResult run(Function &F, AnalysisManager &AM) override {
+    PassResult R;
+    R.Changed = runCodeMotion(F, AM);
+    // Every edit burst already committed its own effect mid-run (see
+    // hoistOnce), so at return all surviving entries were computed after
+    // the last change; claiming the shape set restamps exactly those.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createCodeMotionPass() {
+  return std::make_unique<CodeMotionPass>();
 }

@@ -106,3 +106,29 @@ bool opt::runConstantFolding(Function &F) {
   }
   return Changed;
 }
+
+namespace {
+
+class ConstantFoldingPass final : public Pass {
+public:
+  const char *name() const override { return "constant folding"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runConstantFolding(F);
+    // Folding a comparison of constants rewrites the conditional branch
+    // into a jump (or deletes it), changing edges, so a change preserves
+    // no shape or dataflow result. (The common all-ALU case could keep
+    // shape, but the pass does not distinguish its changes.) The
+    // shortest-path matrix stays marked preserved: it is
+    // fingerprint-revalidated on every reuse.
+    R.Preserved =
+        PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths);
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createConstantFoldingPass() {
+  return std::make_unique<ConstantFoldingPass>();
+}

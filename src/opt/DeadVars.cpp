@@ -15,8 +15,8 @@ using namespace coderep::cfg;
 using namespace coderep::opt;
 using namespace coderep::rtl;
 
-bool opt::runDeadVariableElim(Function &F) {
-  Liveness LV(F);
+/// The pass body over a prebuilt liveness result.
+static bool eliminateDeadVars(Function &F, const Liveness &LV) {
   const RegUniverse &U = LV.universe();
   bool Changed = false;
   std::vector<int> Used;
@@ -52,4 +52,34 @@ bool opt::runDeadVariableElim(Function &F) {
     }
   }
   return Changed;
+}
+
+bool opt::runDeadVariableElim(Function &F) {
+  return eliminateDeadVars(F, Liveness(F));
+}
+
+bool opt::runDeadVariableElim(Function &F, AnalysisManager &AM) {
+  return eliminateDeadVars(F, AM.liveness());
+}
+
+namespace {
+
+class DeadVariableElimPass final : public Pass {
+public:
+  const char *name() const override { return "dead variable elimination"; }
+  PassResult run(Function &F, AnalysisManager &AM) override {
+    PassResult R;
+    R.Changed = runDeadVariableElim(F, AM);
+    // Deletes side-effect-free register assignments only - never a
+    // transfer, a block, or an edge - so every shape analysis stays
+    // valid; register uses changed, so liveness does not.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createDeadVariableElimPass() {
+  return std::make_unique<DeadVariableElimPass>();
 }

@@ -90,3 +90,27 @@ bool opt::runDelaySlotFilling(Function &F, int *NopsOut) {
     *NopsOut = Nops;
   return Changed;
 }
+
+namespace {
+
+class DelaySlotFillingPass final : public Pass {
+public:
+  explicit DelaySlotFillingPass(int *NopsOut) : NopsOut(NopsOut) {}
+  const char *name() const override { return "delay slot filling"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runDelaySlotFilling(F, NopsOut);
+    // Slots are carved out of their own blocks; successors are unchanged.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+
+private:
+  int *NopsOut;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createDelaySlotFillingPass(int *NopsOut) {
+  return std::make_unique<DelaySlotFillingPass>(NopsOut);
+}

@@ -165,14 +165,14 @@ bool substitute(Insn &C, int R, const Insn &P) {
 
 class Combiner {
 public:
-  Combiner(Function &F, const target::Target &T) : F(F), T(T) {}
+  Combiner(Function &F, const target::Target &T, const Liveness &LV)
+      : F(F), T(T), LV(LV) {}
 
   bool run() {
-    // Liveness is computed once per invocation. Edits only move or remove
-    // uses within a block (never creating new upward exposure, because the
-    // producer already used the substituted operands earlier in the same
-    // block), so a stale liveness answer is conservative.
-    Liveness LV(F);
+    // Liveness is borrowed for the whole invocation. Edits only move or
+    // remove uses within a block (never creating new upward exposure,
+    // because the producer already used the substituted operands earlier
+    // in the same block), so a stale liveness answer is conservative.
     bool Changed = false;
     bool IterChanged = true;
     int Guard = 0;
@@ -194,6 +194,7 @@ public:
 private:
   Function &F;
   const target::Target &T;
+  const Liveness &LV;
 
   bool tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
                     const RegUniverse &U);
@@ -281,5 +282,38 @@ bool Combiner::tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
 } // namespace
 
 bool opt::runInstructionSelection(Function &F, const target::Target &T) {
-  return Combiner(F, T).run();
+  Liveness LV(F);
+  return Combiner(F, T, LV).run();
+}
+
+bool opt::runInstructionSelection(Function &F, const target::Target &T,
+                                  AnalysisManager &AM) {
+  return Combiner(F, T, AM.liveness()).run();
+}
+
+namespace {
+
+class InstructionSelectionPass final : public Pass {
+public:
+  explicit InstructionSelectionPass(const target::Target &T) : T(T) {}
+  const char *name() const override { return "instruction selection"; }
+  PassResult run(Function &F, AnalysisManager &AM) override {
+    PassResult R;
+    R.Changed = runInstructionSelection(F, T, AM);
+    // Combining rewrites and erases RTLs inside blocks; no terminator
+    // target or block is touched, so the flow graph and its derived
+    // analyses survive. Liveness is dropped: combined registers die.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+
+private:
+  const target::Target &T;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+opt::createInstructionSelectionPass(const target::Target &T) {
+  return std::make_unique<InstructionSelectionPass>(T);
 }

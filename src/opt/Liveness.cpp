@@ -10,6 +10,14 @@ using namespace coderep::opt;
 using namespace coderep::rtl;
 
 Liveness::Liveness(const Function &F) : Universe(F) {
+  compute(F, cfg::FlatCfg(F));
+}
+
+Liveness::Liveness(const Function &F, const cfg::FlatCfg &Flat) : Universe(F) {
+  compute(F, Flat);
+}
+
+void Liveness::compute(const Function &F, const cfg::FlatCfg &Flat) {
   int N = F.size();
   LiveIn.assign(N, BitVec(Universe.size()));
   LiveOut.assign(N, BitVec(Universe.size()));
@@ -44,10 +52,9 @@ Liveness::Liveness(const Function &F) : Universe(F) {
     Use[B].set(Universe.slot(RegFP));
   }
 
-  // Iterate to fixpoint (backward). The flow graph is snapshotted into
-  // flat arrays once; the loop body is pure word-parallel BitVec work on
-  // a reused scratch set, so an iteration allocates nothing.
-  cfg::FlatCfg Flat(F);
+  // Iterate to fixpoint (backward). The flow graph is a flat CSR
+  // snapshot; the loop body is pure word-parallel BitVec work on a reused
+  // scratch set, so an iteration allocates nothing.
   BitVec In(Universe.size());
   bool Changed = true;
   while (Changed) {

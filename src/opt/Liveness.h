@@ -21,6 +21,10 @@
 
 #include <vector>
 
+namespace coderep::cfg {
+class FlatCfg;
+} // namespace coderep::cfg
+
 namespace coderep::opt {
 
 /// Maps register numbers to dense slots: physical registers occupy
@@ -53,11 +57,18 @@ class Liveness {
 public:
   explicit Liveness(const cfg::Function &F);
 
+  /// As above, but reuses a prebuilt CSR snapshot of \p F's flow graph
+  /// (opt::AnalysisManager shares one FlatCfg build across analyses).
+  /// \p Flat must describe \p F's current state.
+  Liveness(const cfg::Function &F, const cfg::FlatCfg &Flat);
+
   const RegUniverse &universe() const { return Universe; }
   const BitVec &liveIn(int Block) const { return LiveIn[Block]; }
   const BitVec &liveOut(int Block) const { return LiveOut[Block]; }
 
 private:
+  void compute(const cfg::Function &F, const cfg::FlatCfg &Flat);
+
   RegUniverse Universe;
   std::vector<BitVec> LiveIn;
   std::vector<BitVec> LiveOut;

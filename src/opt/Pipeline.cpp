@@ -79,6 +79,7 @@ PipelineStats &PipelineStats::operator+=(const PipelineStats &Other) {
   QuiescentRounds += Other.QuiescentRounds;
   FunctionCacheHits += Other.FunctionCacheHits;
   FunctionCacheMisses += Other.FunctionCacheMisses;
+  Analysis += Other.Analysis;
   for (int I = 0; I < NumPhases; ++I)
     PhaseMicros[I] += Other.PhaseMicros[I];
   return *this;
@@ -168,19 +169,22 @@ constexpr uint16_t Invalidates[NumFixpointPasses] = {
 
 } // namespace
 
-/// Runs the configured replication algorithm once.
+/// Runs the configured replication algorithm once. Both algorithms borrow
+/// the manager's shape cache, so JUMPS and LOOPS rounds share dominator and
+/// loop results with each other and with the optimizer's own passes.
 static bool runReplication(Function &F, const PipelineOptions &Options,
-                           PipelineStats *Stats,
-                           replicate::ShortestPathsCache *Cache) {
+                           PipelineStats *Stats, AnalysisManager &AM) {
   replicate::ReplicationStats *S =
       Stats ? &Stats->Replication : nullptr;
   switch (Options.Level) {
   case OptLevel::Simple:
     return false;
   case OptLevel::Loops:
-    return replicate::runLoops(F, S, Options.Replication.Trace);
+    return replicate::runLoops(F, S, Options.Replication.Trace,
+                               &AM.shapeCache());
   case OptLevel::Jumps:
-    return replicate::runJumps(F, Options.Replication, S, Cache);
+    return replicate::runJumps(F, Options.Replication, S, &AM.shortestPaths(),
+                               &AM.shapeCache());
   }
   CODEREP_UNREACHABLE("bad optimization level");
 }
@@ -217,37 +221,68 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
                           format("\"function\": \"%s\", \"level\": \"%s\"",
                                  F.Name.c_str(), optLevelName(Options.Level)));
 
-  // The step-1 shortest-path matrix survives from one replication
-  // invocation to the next; the fixpoint loop's later iterations usually
-  // change nothing, so their replication calls revalidate and reuse it.
-  replicate::ShortestPathsCache SpCache;
-  SpCache.setTrace(Sink);
+  // The analysis registry for this function: every pass queries its
+  // analyses here, and its shortest-path cache carries the step-1 matrix
+  // from one replication invocation to the next (the fixpoint loop's later
+  // iterations usually change nothing, so their replication calls
+  // revalidate and reuse it).
+  AnalysisManager AM(F, Options.CacheAnalyses, Sink);
+
+  // The pass instances (stateless apart from configuration).
+  std::unique_ptr<Pass> BranchChain = createBranchChainingPass();
+  std::unique_ptr<Pass> Unreachable = createUnreachableElimPass();
+  std::unique_ptr<Pass> Reorder = createBlockReorderPass();
+  std::unique_ptr<Pass> MergeFall = createMergeFallthroughsPass();
+  std::unique_ptr<Pass> InsnSel = createInstructionSelectionPass(T);
+  std::unique_ptr<Pass> RegAssign = createRegisterAssignmentPass();
+  std::unique_ptr<Pass> Cse = createLocalCsePass(T);
+  std::unique_ptr<Pass> DeadVars = createDeadVariableElimPass();
+  std::unique_ptr<Pass> Motion = createCodeMotionPass();
+  std::unique_ptr<Pass> Strength = createStrengthReductionPass();
+  std::unique_ptr<Pass> Fold = createConstantFoldingPass();
+  std::unique_ptr<Pass> RegAlloc = createRegisterAllocationPass(T);
 
   PassRunner run(Stats, Sink);
+
+  // The commit protocol: record the epoch, run the pass, and on a change
+  // let the manager keep exactly the analyses the pass vouched for.
+  auto runPass = [&](Phase Ph, Pass &P) {
+    return run(Ph, [&] {
+      const uint64_t Before = F.analysisEpoch();
+      PassResult R = P.run(F, AM);
+      if (R.Changed)
+        AM.commit(Before, R.Preserved);
+      return R.Changed;
+    });
+  };
+
   auto replicateOnce = [&] {
     return run(Phase::Replication, [&] {
-      return runReplication(F, Options, Stats, &SpCache);
+      const uint64_t Before = F.analysisEpoch();
+      bool Changed = runReplication(F, Options, Stats, AM);
+      if (Changed)
+        AM.commit(Before, PreservedAnalyses::none().preserve(
+                              AnalysisID::ShortestPaths));
+      return Changed;
     });
   };
 
   // Initial branch optimizations (Figure 3, before the loop).
-  run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
-  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
-  run(Phase::BlockReorder, [&] { return runBlockReorder(F); });
-  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
+  runPass(Phase::BranchChaining, *BranchChain);
+  runPass(Phase::UnreachableElim, *Unreachable);
+  runPass(Phase::BlockReorder, *Reorder);
+  runPass(Phase::MergeFallthroughs, *MergeFall);
 
   // "Code replication is performed at an early stage so that the later
   // optimizations can take advantage of the simplified control flow."
   replicateOnce();
-  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
-  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
+  runPass(Phase::UnreachableElim, *Unreachable);
+  runPass(Phase::MergeFallthroughs, *MergeFall);
 
-  run(Phase::InstructionSelection,
-      [&] { return runInstructionSelection(F, T); });
+  runPass(Phase::InstructionSelection, *InsnSel);
   // "register assignment; if (change) instruction selection;"
-  if (run(Phase::RegisterAssignment, [&] { return runRegisterAssignment(F); }))
-    run(Phase::InstructionSelection,
-        [&] { return runInstructionSelection(F, T); });
+  if (runPass(Phase::RegisterAssignment, *RegAssign))
+    runPass(Phase::InstructionSelection, *InsnSel);
 
   // The fixpoint loop of Figure 3. One lambda per slot, in loop order, so
   // the scheduled and rerun-everything drivers below execute identical
@@ -255,29 +290,25 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   auto runFixpointPass = [&](int P) -> bool {
     switch (P) {
     case FpLocalCse:
-      return run(Phase::LocalCse, [&] { return runLocalCse(F, T); });
+      return runPass(Phase::LocalCse, *Cse);
     case FpDeadVars:
-      return run(Phase::DeadVariableElim,
-                 [&] { return runDeadVariableElim(F); });
+      return runPass(Phase::DeadVariableElim, *DeadVars);
     case FpCodeMotion:
-      return run(Phase::CodeMotion, [&] { return runCodeMotion(F); });
+      return runPass(Phase::CodeMotion, *Motion);
     case FpStrengthReduce:
-      return run(Phase::StrengthReduction,
-                 [&] { return runStrengthReduction(F); });
+      return runPass(Phase::StrengthReduction, *Strength);
     case FpInsnSelect:
-      return run(Phase::InstructionSelection,
-                 [&] { return runInstructionSelection(F, T); });
+      return runPass(Phase::InstructionSelection, *InsnSel);
     case FpBranchChain:
-      return run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
+      return runPass(Phase::BranchChaining, *BranchChain);
     case FpConstFold:
-      return run(Phase::ConstantFolding, [&] { return runConstantFolding(F); });
+      return runPass(Phase::ConstantFolding, *Fold);
     case FpReplicate:
       return replicateOnce();
     case FpUnreachable:
-      return run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
+      return runPass(Phase::UnreachableElim, *Unreachable);
     case FpMergeFall:
-      return run(Phase::MergeFallthroughs,
-                 [&] { return runMergeFallthroughs(F); });
+      return runPass(Phase::MergeFallthroughs, *MergeFall);
     }
     CODEREP_UNREACHABLE("bad fixpoint pass");
   };
@@ -337,26 +368,29 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       F.verify();
     }
   }
-  if (Stats) {
+  if (Stats)
     Stats->FixpointIterations += Iter;
-    Stats->SpCacheHits += SpCache.hits();
-    Stats->SpCacheMisses += SpCache.misses();
-  }
 
-  run(Phase::RegisterAllocation,
-      [&] { return runRegisterAllocation(F, T); });
-  run(Phase::BranchChaining, [&] { return runBranchChaining(F); });
-  run(Phase::UnreachableElim, [&] { return runUnreachableElim(F); });
-  run(Phase::BlockReorder, [&] { return runBlockReorder(F); });
-  run(Phase::MergeFallthroughs, [&] { return runMergeFallthroughs(F); });
+  runPass(Phase::RegisterAllocation, *RegAlloc);
+  runPass(Phase::BranchChaining, *BranchChain);
+  runPass(Phase::UnreachableElim, *Unreachable);
+  runPass(Phase::BlockReorder, *Reorder);
+  runPass(Phase::MergeFallthroughs, *MergeFall);
 
   if (T.hasDelaySlots()) {
     int Nops = 0;
-    run(Phase::DelaySlotFilling, [&] { return runDelaySlotFilling(F, &Nops); });
+    std::unique_ptr<Pass> DelaySlots = createDelaySlotFillingPass(&Nops);
+    runPass(Phase::DelaySlotFilling, *DelaySlots);
     if (Stats)
       Stats->DelaySlotNops += Nops;
   }
   F.verify();
+
+  if (Stats) {
+    Stats->SpCacheHits += AM.shortestPaths().hits();
+    Stats->SpCacheMisses += AM.shortestPaths().misses();
+    Stats->Analysis += AM.counters();
+  }
 
   if (Sink) {
     const replicate::ReplicationStats &R = Stats->Replication;
@@ -377,6 +411,13 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
           Stats->FixpointPassesSkipped - PassesSkippedBefore);
     M.add("pipeline.quiescent_rounds",
           Stats->QuiescentRounds - QuiescentBefore);
+    const AnalysisCounters A = AM.counters();
+    for (int I = 0; I < NumAnalysisIDs; ++I) {
+      const std::string Name = analysisName(static_cast<AnalysisID>(I));
+      M.add("analysis." + Name + ".hits", A.Hits[I]);
+      M.add("analysis." + Name + ".recomputes", A.Recomputes[I]);
+      M.add("analysis." + Name + ".invalidations", A.Invalidations[I]);
+    }
   }
 }
 

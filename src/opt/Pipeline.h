@@ -44,6 +44,7 @@
 #define CODEREP_OPT_PIPELINE_H
 
 #include "cfg/Function.h"
+#include "opt/AnalysisManager.h"
 #include "replicate/Replication.h"
 #include "target/Target.h"
 
@@ -121,6 +122,15 @@ struct PipelineOptions {
   /// either way.
   bool ChangeDrivenScheduling = true;
 
+  /// Serve CFG/dataflow analyses from the per-function AnalysisManager,
+  /// invalidated by what each pass declares it preserved (DESIGN.md
+  /// section 11). false recomputes every analysis at every query, which is
+  /// the oracle the cached pipeline is differentially tested against -
+  /// output is byte-identical either way, so (like Jobs and
+  /// ChangeDrivenScheduling) this is a non-semantic option that is NOT
+  /// folded into FunctionOptimizationCache content keys.
+  bool CacheAnalyses = true;
+
   /// When set, optimizeProgram memoizes optimized function bodies keyed by
   /// (post-legalize RTL, target, options) content. Not owned. Hits bypass
   /// the whole per-function pipeline; see FunctionOptimizationCache.
@@ -193,6 +203,11 @@ struct PipelineStats {
   /// FunctionOptimizationCache behavior, when one was attached.
   int FunctionCacheHits = 0;
   int FunctionCacheMisses = 0;
+
+  /// Per-analysis cache behavior of the AnalysisManager (hits, recomputes
+  /// and invalidations for FlatCfg, dominators, loops, liveness and the
+  /// shortest-path matrix), summed over every function.
+  AnalysisCounters Analysis;
 
   /// Wall-clock microseconds spent inside each pass, summed over every
   /// invocation (most passes run once per fixpoint iteration).

@@ -36,8 +36,7 @@ struct Node {
 };
 
 /// Builds the interference graph over virtual registers.
-std::map<int, Node> buildInterference(Function &F) {
-  Liveness LV(F);
+std::map<int, Node> buildInterference(Function &F, const Liveness &LV) {
   const RegUniverse &U = LV.universe();
   std::map<int, Node> Graph;
 
@@ -131,11 +130,17 @@ void patchFrameSize(Function &F) {
 } // namespace
 
 bool opt::runRegisterAllocation(Function &F, const target::Target &T) {
+  AnalysisManager AM(F, /*CacheEnabled=*/false);
+  return runRegisterAllocation(F, T, AM);
+}
+
+bool opt::runRegisterAllocation(Function &F, const target::Target &T,
+                                AnalysisManager &AM) {
   int K = T.numAllocatableRegs();
   bool Changed = false;
 
   for (int Attempt = 0; Attempt < 64; ++Attempt) {
-    std::map<int, Node> Graph = buildInterference(F);
+    std::map<int, Node> Graph = buildInterference(F, AM.liveness());
     if (Graph.empty())
       return Changed;
 
@@ -222,7 +227,36 @@ bool opt::runRegisterAllocation(Function &F, const target::Target &T) {
       spillRegister(F, R, -F.FrameBytes);
     }
     patchFrameSize(F);
+    // Spill code is inserted inside existing blocks: the flow graph holds,
+    // but liveness must be rebuilt before the retry's interference graph.
+    AM.noteEdit(PreservedAnalyses::cfgShape());
     Changed = true;
   }
   CODEREP_UNREACHABLE("register allocation failed to converge");
+}
+
+namespace {
+
+class RegisterAllocationPass final : public Pass {
+public:
+  explicit RegisterAllocationPass(const target::Target &T) : T(T) {}
+  const char *name() const override { return "register allocation"; }
+  PassResult run(Function &F, AnalysisManager &AM) override {
+    PassResult R;
+    R.Changed = runRegisterAllocation(F, T, AM);
+    // Coloring renames registers and deletes self-moves in place; spill
+    // bursts already committed their effect above.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+
+private:
+  const target::Target &T;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+opt::createRegisterAllocationPass(const target::Target &T) {
+  return std::make_unique<RegisterAllocationPass>(T);
 }

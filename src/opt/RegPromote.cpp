@@ -62,3 +62,24 @@ bool opt::runRegisterAssignment(Function &F) {
   F.PromotableLocals.clear();
   return Changed;
 }
+
+namespace {
+
+class RegisterAssignmentPass final : public Pass {
+public:
+  const char *name() const override { return "register assignment"; }
+  PassResult run(Function &F, AnalysisManager &) override {
+    PassResult R;
+    R.Changed = runRegisterAssignment(F);
+    // Promotion rewrites operands and inserts entry loads inside existing
+    // blocks; no transfer or block is touched.
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createRegisterAssignmentPass() {
+  return std::make_unique<RegisterAssignmentPass>();
+}

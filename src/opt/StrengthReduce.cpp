@@ -61,9 +61,9 @@ struct InductionVar {
 } // namespace
 
 /// Induction-variable strength reduction for one loop. Returns true on a
-/// change (analyses become stale).
-static bool reduceLoopOnce(Function &F) {
-  LoopInfo LI(F);
+/// change (the driver then commits it and the next call re-queries).
+static bool reduceLoopOnce(Function &F, AnalysisManager &AM) {
+  const LoopInfo &LI = AM.loops();
   for (const NaturalLoop &Loop : LI.loops()) {
     // The new initialization goes into the preheader; without one, skip
     // (code motion will have created preheaders for profitable loops).
@@ -154,9 +154,41 @@ static bool reduceLoopOnce(Function &F) {
 }
 
 bool opt::runStrengthReduction(Function &F) {
+  AnalysisManager AM(F, /*CacheEnabled=*/false);
+  return runStrengthReduction(F, AM);
+}
+
+bool opt::runStrengthReduction(Function &F, AnalysisManager &AM) {
+  // Every change here rewrites or inserts plain ALU RTLs inside existing
+  // blocks - no transfer, block, or edge is touched - so the shape
+  // analyses survive each burst and reduceLoopOnce's loop-info query hits
+  // across iterations; liveness is dropped (registers changed).
   bool Changed = reduceMulToShift(F);
+  if (Changed)
+    AM.noteEdit(PreservedAnalyses::cfgShape());
   int Guard = 0;
-  while (reduceLoopOnce(F) && Guard++ < 1000)
+  while (reduceLoopOnce(F, AM) && Guard++ < 1000) {
     Changed = true;
+    AM.noteEdit(PreservedAnalyses::cfgShape());
+  }
   return Changed;
+}
+
+namespace {
+
+class StrengthReductionPass final : public Pass {
+public:
+  const char *name() const override { return "strength reduction"; }
+  PassResult run(Function &F, AnalysisManager &AM) override {
+    PassResult R;
+    R.Changed = runStrengthReduction(F, AM);
+    R.Preserved = PreservedAnalyses::cfgShape();
+    return R;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> opt::createStrengthReductionPass() {
+  return std::make_unique<StrengthReductionPass>();
 }

@@ -64,8 +64,8 @@ struct UndoLog {
 class JumpsPass {
 public:
   JumpsPass(Function &F, const ReplicationOptions &O, ReplicationStats &S,
-            ShortestPathsCache *Cache)
-      : F(F), O(O), S(S), Cache(Cache) {}
+            ShortestPathsCache *Cache, AnalysisCache &AC)
+      : F(F), O(O), S(S), Cache(Cache), AC(AC) {}
 
   bool run();
 
@@ -74,6 +74,7 @@ private:
   const ReplicationOptions &O;
   ReplicationStats &S;
   ShortestPathsCache *Cache; ///< optional cross-round matrix cache
+  AnalysisCache &AC;         ///< shape analyses, shared with the optimizer
 
   /// (block label, target label) pairs proven non-replicable.
   std::set<std::pair<int, int>> Skip;
@@ -93,9 +94,12 @@ private:
 
   /// Loop structure of the current flow graph. The replication planner
   /// consults it for every candidate (step 3); rebuilding it per jump made
-  /// LoopInfo construction the hottest part of a round, so it is built
-  /// once per round and refreshed only after a successful mutation.
-  std::unique_ptr<LoopInfo> RoundLI;
+  /// LoopInfo construction the hottest part of a round, so it is queried
+  /// from the shared cache once per round and refreshed only after a
+  /// successful mutation. The shared handle pins the result: applyPlan
+  /// re-queries the cache mid-attempt (replacing the slot), and the
+  /// planner's reference must survive that.
+  std::shared_ptr<const LoopInfo> RoundLI;
 
   bool runRound();
   bool tryJumpAt(int BIdx);
@@ -153,7 +157,7 @@ bool JumpsPass::runRound() {
     RoundLabels.push_back(F.block(B)->Label);
     RoundLabelToOld[F.block(B)->Label] = B;
   }
-  RoundLI = std::make_unique<LoopInfo>(F);
+  RoundLI = AC.loopsShared();
   bool Changed = false;
   for (int B = 0; B < F.size() && S.JumpsReplaced < O.MaxReplacements; ++B) {
     if (!F.block(B)->endsWithJump())
@@ -164,7 +168,7 @@ bool JumpsPass::runRound() {
       // before the next candidate is planned. (The shortest-path matrix
       // intentionally stays stale for the rest of the round, as in the
       // paper; see RoundSP.)
-      RoundLI = std::make_unique<LoopInfo>(F);
+      RoundLI = AC.loopsShared();
     }
   }
   return Changed;
@@ -242,6 +246,7 @@ bool JumpsPass::tryJumpAt(int BIdx) {
   }
   if (TIdx == BIdx + 1) {
     B->Insns.pop_back(); // jump to next is a plain fall-through
+    F.noteRtlEdit();     // an RTL vanished: move the analysis epoch
     record(obs::DecisionOutcome::FallThrough);
     return true;
   }
@@ -375,6 +380,10 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     int RetargetsBefore = S.Step5Retargets;
     int StubsBefore = S.StubJumpsAdded;
     UndoLog U;
+    // The splice is speculative: image the shape cache (entries and epoch)
+    // so a step-6 rollback restores the pre-attempt analyses instead of
+    // blanket-invalidating results the attempt never perturbed.
+    AnalysisCache::Snapshot Snap = AC.snapshot();
     if (!applyPlan(BIdx, P, U)) {
       setFate(CI, obs::CandidateFate::PlanFailed);
       continue;
@@ -382,6 +391,7 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     F.verify();
     if (!isReducible(F)) {
       undo(U);
+      AC.restore(Snap);
       ++S.RolledBackIrreducible;
       setFate(CI, obs::CandidateFate::RolledBackIrreducible);
       continue;
@@ -601,11 +611,14 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
   // conditional branches of the uncopied loop blocks that lead into the
   // copied part are redirected to the copies, avoiding partially
   // overlapping loops (Figure 2).
-  LoopInfo LIBefore(F);
+  // The splice bumped the epoch, so this query builds (and caches) loop
+  // info for the just-spliced graph.
+  const LoopInfo &LIBefore = AC.loops();
   std::set<int> CopiedLabels;
   for (const CopySpec &Spec : P.Specs)
     CopiedLabels.insert(Spec.OrigLabel);
   const NaturalLoop *BLoop = LIBefore.innermostLoopContaining(BIdx);
+  bool Retargeted = false;
   if (BLoop) {
     for (int X : BLoop->Blocks) {
       BasicBlock *XB = F.block(X);
@@ -620,10 +633,15 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
           U.Retargets.push_back({XB->Label, T->Target});
           T->Target = Mapped;
           ++S.Step5Retargets;
+          Retargeted = true;
         }
       }
     }
   }
+  // Retargets rewrite branch targets in place, changing edges after the
+  // loop info above was computed: move the epoch so nothing serves it.
+  if (Retargeted)
+    F.noteRtlEdit();
   return true;
 }
 
@@ -655,8 +673,13 @@ void JumpsPass::undo(const UndoLog &U) {
 } // namespace
 
 bool replicate::runJumps(Function &F, const ReplicationOptions &Options,
-                         ReplicationStats *Stats, ShortestPathsCache *Cache) {
+                         ReplicationStats *Stats, ShortestPathsCache *Cache,
+                         AnalysisCache *Analyses) {
   ReplicationStats Local;
-  JumpsPass Pass(F, Options, Stats ? *Stats : Local, Cache);
+  // Without a caller-provided cache, fall back to a disabled local one:
+  // every query recomputes, exactly the standalone behavior.
+  AnalysisCache LocalAC(F, /*Enabled=*/false);
+  JumpsPass Pass(F, Options, Stats ? *Stats : Local, Cache,
+                 Analyses ? *Analyses : LocalAC);
   return Pass.run();
 }

@@ -73,13 +73,16 @@ bool replaceJumpWithReversedTest(Function &F, int BIdx, int TestIdx) {
   B->Insns.pop_back();
   B->Insns.insert(B->Insns.end(), Test->Insns.begin(), Test->Insns.end() - 1);
   B->Insns.push_back(NewBranch);
+  // The terminator changed from a jump to a conditional branch: the flow
+  // graph has new edges, so move the analysis epoch.
+  F.noteRtlEdit();
   return true;
 }
 
 /// One LOOPS rewrite. Returns true on change.
-bool loopsOnce(Function &F, ReplicationStats &S,
+bool loopsOnce(Function &F, AnalysisCache &AC, ReplicationStats &S,
                const obs::TraceConfig &Trace, int Round) {
-  LoopInfo LI(F);
+  const LoopInfo &LI = AC.loops();
   for (int B = 0; B < F.size(); ++B) {
     BasicBlock *Blk = F.block(B);
     if (!Blk->endsWithJump())
@@ -137,12 +140,17 @@ bool loopsOnce(Function &F, ReplicationStats &S,
 } // namespace
 
 bool replicate::runLoops(Function &F, ReplicationStats *Stats,
-                         const obs::TraceConfig &Trace) {
+                         const obs::TraceConfig &Trace,
+                         AnalysisCache *Analyses) {
   ReplicationStats Local;
   ReplicationStats &S = Stats ? *Stats : Local;
+  // Without a caller-provided cache, fall back to a disabled local one:
+  // every query recomputes, exactly the standalone behavior.
+  AnalysisCache LocalAC(F, /*Enabled=*/false);
+  AnalysisCache &AC = Analyses ? *Analyses : LocalAC;
   bool Changed = false;
   int Guard = 0;
-  while (loopsOnce(F, S, Trace, Guard + 1) && Guard++ < 1000)
+  while (loopsOnce(F, AC, S, Trace, Guard + 1) && Guard++ < 1000)
     Changed = true;
   if (Changed)
     removeUnreachableBlocks(F);

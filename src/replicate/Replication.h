@@ -26,6 +26,7 @@
 #ifndef CODEREP_REPLICATE_REPLICATION_H
 #define CODEREP_REPLICATE_REPLICATION_H
 
+#include "cfg/AnalysisCache.h"
 #include "cfg/Function.h"
 #include "obs/Trace.h"
 
@@ -117,14 +118,20 @@ class ShortestPathsCache;
 /// rounds and across repeated invocations from the optimizer's fixpoint
 /// loop; it is revalidated against the flow graph before every reuse, so
 /// results are identical with or without it.
+/// \p Analyses, when given, serves (and is kept coherent with) the natural
+/// loop information the rounds need: step-6 rollbacks restore the cache to
+/// its pre-attempt snapshot, and without a cache every query recomputes.
 bool runJumps(cfg::Function &F, const ReplicationOptions &Options = {},
               ReplicationStats *Stats = nullptr,
-              ShortestPathsCache *Cache = nullptr);
+              ShortestPathsCache *Cache = nullptr,
+              cfg::AnalysisCache *Analyses = nullptr);
 
 /// Loop-condition replication only. Returns true if the function changed.
 /// \p Trace, when enabled, receives one decision record per rewritten jump.
+/// \p Analyses, when given, serves the per-round loop queries.
 bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr,
-              const obs::TraceConfig &Trace = {});
+              const obs::TraceConfig &Trace = {},
+              cfg::AnalysisCache *Analyses = nullptr);
 
 } // namespace coderep::replicate
 

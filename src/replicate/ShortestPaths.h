@@ -148,6 +148,10 @@ public:
   /// Drops the cached matrix unconditionally.
   void invalidate() { SP.reset(); }
 
+  /// True while a matrix is cached (it may still fail fingerprint
+  /// revalidation on the next get()).
+  bool holdsMatrix() const { return SP != nullptr; }
+
   /// Attaches a trace sink: every get() then bumps the "sp.cache.hits" /
   /// "sp.cache.misses" metrics and misses are spanned as rebuilds.
   void setTrace(obs::TraceSink *Sink) { Trace = Sink; }

@@ -1,0 +1,417 @@
+//===- AnalysisManagerTest.cpp - Cached analyses + invalidation -------------===//
+//
+// The analysis manager holds the same bar as every other throughput layer:
+// serving FlatCfg/dominators/loops/liveness/shortest-paths from the cache
+// must be byte-identical to recomputing them at every query. These tests
+// pin the epoch protocol (block mutations and RTL-edit hooks move it,
+// rollback winds it back), the PreservedAnalyses commit filtering, the
+// snapshot/restore path the JUMPS step-6 rollback uses, and the cached
+// pipeline differentially against the always-recompute oracle
+// (PipelineOptions::CacheAnalyses = false) over the whole Table-3 suite and
+// randomized programs - plus the counter identities that make the savings
+// auditable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "Suite.h"
+#include "cfg/AnalysisCache.h"
+#include "cfg/FunctionPrinter.h"
+#include "driver/Compiler.h"
+#include "obs/Trace.h"
+#include "opt/AnalysisManager.h"
+#include "opt/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace coderep;
+using namespace coderep::bench;
+using namespace coderep::cfg;
+using namespace coderep::driver;
+using namespace coderep::opt;
+using namespace coderep::rtl;
+
+namespace {
+
+const target::TargetKind AllTargets[] = {target::TargetKind::Sparc,
+                                         target::TargetKind::M68};
+const OptLevel AllLevels[] = {OptLevel::Simple, OptLevel::Loops,
+                              OptLevel::Jumps};
+
+std::string compileToText(const std::string &Source, target::TargetKind TK,
+                          OptLevel Level, const PipelineOptions &Override,
+                          PipelineStats *StatsOut = nullptr) {
+  Compilation C = compile(Source, TK, Level, &Override);
+  EXPECT_TRUE(C.ok()) << C.Error;
+  if (!C.ok())
+    return {};
+  if (StatsOut)
+    *StatsOut = C.Pipeline;
+  return cfg::toString(*C.Prog);
+}
+
+/// A two-block function with a conditional loop, enough for every analysis
+/// to have something to say.
+std::unique_ptr<Function> makeLoopFunction() {
+  auto F = std::make_unique<Function>("t");
+  int R = FirstVirtual;
+  for (int I = 0; I < 4; ++I)
+    F->freshVReg();
+  int LHead = F->freshLabel();
+  BasicBlock *Entry = F->appendBlock();
+  Entry->Insns.push_back(
+      Insn::move(Operand::reg(R), Operand::imm(10)));
+  BasicBlock *Head = F->appendBlockWithLabel(LHead);
+  Head->Insns.push_back(Insn::binary(Opcode::Sub, Operand::reg(R),
+                                     Operand::reg(R), Operand::imm(1)));
+  Head->Insns.push_back(Insn::compare(Operand::reg(R), Operand::imm(0)));
+  Head->Insns.push_back(Insn::condJump(CondCode::Ne, LHead));
+  BasicBlock *Exit = F->appendBlock();
+  Exit->Insns.push_back(Insn::ret());
+  F->verify();
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch protocol
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisEpoch, MovesOnEveryMutationPath) {
+  auto F = makeLoopFunction();
+  uint64_t E0 = F->analysisEpoch();
+
+  F->appendBlock();
+  EXPECT_GT(F->analysisEpoch(), E0) << "appendBlock must move the epoch";
+
+  uint64_t E1 = F->analysisEpoch();
+  F->insertBlock(1);
+  EXPECT_GT(F->analysisEpoch(), E1) << "insertBlock must move the epoch";
+
+  uint64_t E2 = F->analysisEpoch();
+  F->eraseBlock(1);
+  EXPECT_GT(F->analysisEpoch(), E2) << "eraseBlock must move the epoch";
+
+  uint64_t E3 = F->analysisEpoch();
+  F->noteRtlEdit();
+  EXPECT_GT(F->analysisEpoch(), E3) << "noteRtlEdit must move the epoch";
+}
+
+TEST(AnalysisEpoch, RestoreWindsBackwards) {
+  auto F = makeLoopFunction();
+  uint64_t Saved = F->analysisEpoch();
+  F->noteRtlEdit();
+  F->noteRtlEdit();
+  EXPECT_GT(F->analysisEpoch(), Saved);
+  F->restoreAnalysisEpoch(Saved);
+  EXPECT_EQ(F->analysisEpoch(), Saved);
+}
+
+//===----------------------------------------------------------------------===//
+// PreservedAnalyses
+//===----------------------------------------------------------------------===//
+
+TEST(PreservedAnalyses, SetAlgebra) {
+  PreservedAnalyses None = PreservedAnalyses::none();
+  for (int I = 0; I < NumAnalysisIDs; ++I)
+    EXPECT_FALSE(None.preserved(static_cast<AnalysisID>(I)));
+
+  PreservedAnalyses All = PreservedAnalyses::all();
+  for (int I = 0; I < NumAnalysisIDs; ++I)
+    EXPECT_TRUE(All.preserved(static_cast<AnalysisID>(I)));
+
+  PreservedAnalyses Shape = PreservedAnalyses::cfgShape();
+  EXPECT_TRUE(Shape.preserved(AnalysisID::FlatCfg));
+  EXPECT_TRUE(Shape.preserved(AnalysisID::Dominators));
+  EXPECT_TRUE(Shape.preserved(AnalysisID::Loops));
+  EXPECT_TRUE(Shape.preserved(AnalysisID::ShortestPaths));
+  EXPECT_FALSE(Shape.preserved(AnalysisID::Liveness))
+      << "cfgShape drops dataflow";
+
+  PreservedAnalyses P =
+      PreservedAnalyses::none().preserve(AnalysisID::Liveness);
+  EXPECT_TRUE(P.preserved(AnalysisID::Liveness));
+  P.abandon(AnalysisID::Liveness);
+  EXPECT_FALSE(P.preserved(AnalysisID::Liveness));
+}
+
+//===----------------------------------------------------------------------===//
+// Manager caching and commit filtering
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerUnit, RepeatQueriesHitUntilTheEpochMoves) {
+  auto F = makeLoopFunction();
+  AnalysisManager AM(*F);
+
+  // One cold loops() query builds the whole shape chain once.
+  AM.loops();
+  AnalysisCounters A = AM.counters();
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::FlatCfg)], 1);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Dominators)], 1);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Loops)], 1);
+
+  AM.loops();
+  AM.dominators();
+  AM.flatCfg();
+  AM.liveness();
+  AM.liveness();
+  A = AM.counters();
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Loops)], 1);
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Dominators)], 1);
+  // The cold shape chain itself re-queries flatCfg() internally, so the
+  // flat-CFG hit count only has a lower bound.
+  EXPECT_GE(A.Hits[static_cast<int>(AnalysisID::FlatCfg)], 1);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::FlatCfg)], 1);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Liveness)], 1);
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Liveness)], 1);
+
+  // The epoch moves: everything recomputes on next query.
+  F->noteRtlEdit();
+  AM.loops();
+  AM.liveness();
+  A = AM.counters();
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Loops)], 2);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Liveness)], 2);
+}
+
+TEST(AnalysisManagerUnit, DisabledManagerAlwaysRecomputes) {
+  auto F = makeLoopFunction();
+  AnalysisManager AM(*F, /*CacheEnabled=*/false);
+  AM.loops();
+  AM.loops();
+  AM.liveness();
+  AM.liveness();
+  AnalysisCounters A = AM.counters();
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Loops)], 0);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Loops)], 2);
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Liveness)], 0);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Liveness)], 2);
+}
+
+TEST(AnalysisManagerUnit, CommitKeepsExactlyThePreservedSet) {
+  auto F = makeLoopFunction();
+  AnalysisManager AM(*F);
+  AM.loops();
+  AM.liveness();
+
+  // An in-place edit burst that keeps the flow graph: the cfgShape commit
+  // must keep the shape trio (restamped) and drop only liveness.
+  uint64_t Before = F->analysisEpoch();
+  F->block(0)->Insns.insert(
+      F->block(0)->Insns.begin(),
+      Insn::move(Operand::reg(FirstVirtual + 1), Operand::imm(0)));
+  AM.commit(Before, PreservedAnalyses::cfgShape());
+  EXPECT_GT(F->analysisEpoch(), Before)
+      << "commit must move the epoch for in-place-only edits";
+
+  AM.loops();
+  AM.liveness();
+  AnalysisCounters A = AM.counters();
+  EXPECT_EQ(A.Hits[static_cast<int>(AnalysisID::Loops)], 1)
+      << "preserved loop info must survive the commit";
+  EXPECT_EQ(A.Invalidations[static_cast<int>(AnalysisID::Liveness)], 1);
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Liveness)], 2)
+      << "dropped liveness must recompute";
+
+  // A none() commit drops the shape trio too.
+  Before = F->analysisEpoch();
+  F->noteRtlEdit();
+  AM.commit(Before, PreservedAnalyses::none());
+  AM.loops();
+  A = AM.counters();
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Loops)], 2);
+  EXPECT_GE(A.Invalidations[static_cast<int>(AnalysisID::Loops)], 1);
+}
+
+TEST(AnalysisManagerUnit, CommitRespectsTheBeforeEpochInterval) {
+  auto F = makeLoopFunction();
+  AnalysisManager AM(*F);
+  AM.loops(); // stamped at E0
+  uint64_t E0 = F->analysisEpoch();
+
+  // The entry predates Before: even a preserving commit must drop it,
+  // because it was computed before edits the committing pass never saw.
+  F->noteRtlEdit();
+  uint64_t Before = F->analysisEpoch();
+  EXPECT_GT(Before, E0);
+  F->noteRtlEdit();
+  AM.commit(Before, PreservedAnalyses::cfgShape());
+  AM.loops();
+  AnalysisCounters A = AM.counters();
+  EXPECT_EQ(A.Recomputes[static_cast<int>(AnalysisID::Loops)], 2)
+      << "stale entry from before the pass started must not be restamped";
+}
+
+TEST(AnalysisManagerUnit, AbandoningShortestPathsDropsTheHeldMatrix) {
+  auto F = makeLoopFunction();
+  AnalysisManager AM(*F);
+  AM.shortestPaths().get(*F);
+  EXPECT_TRUE(AM.shortestPaths().holdsMatrix());
+
+  uint64_t Before = F->analysisEpoch();
+  F->noteRtlEdit();
+  AM.commit(Before,
+            PreservedAnalyses::cfgShape().abandon(AnalysisID::ShortestPaths));
+  EXPECT_FALSE(AM.shortestPaths().holdsMatrix());
+  AnalysisCounters A = AM.counters();
+  EXPECT_EQ(A.Invalidations[static_cast<int>(AnalysisID::ShortestPaths)], 1);
+
+  // The usual pass sets keep it held: it self-validates by fingerprint.
+  AM.shortestPaths().get(*F);
+  Before = F->analysisEpoch();
+  F->noteRtlEdit();
+  AM.commit(Before, PreservedAnalyses::none().preserve(
+                        AnalysisID::ShortestPaths));
+  EXPECT_TRUE(AM.shortestPaths().holdsMatrix());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot / restore (the JUMPS step-6 rollback path)
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCacheUnit, RestoreReinstatesEntriesAndEpoch) {
+  auto F = makeLoopFunction();
+  AnalysisCache AC(*F);
+  AC.loops();
+  ASSERT_TRUE(AC.valid(AnalysisCache::LoopsKind));
+  AnalysisCache::Snapshot Snap = AC.snapshot();
+  const int64_t HitsBefore = AC.counters().Hits[AnalysisCache::LoopsKind];
+
+  // A speculative splice: insert a block, query (replacing the cached
+  // entries), then roll the bytes back and restore the snapshot.
+  F->insertBlock(1);
+  AC.loops();
+  F->eraseBlock(1);
+  AC.restore(Snap);
+
+  EXPECT_EQ(F->analysisEpoch(), Snap.Epoch);
+  EXPECT_TRUE(AC.valid(AnalysisCache::LoopsKind))
+      << "restored entries must serve the restored epoch";
+  AC.loops();
+  EXPECT_EQ(AC.counters().Hits[AnalysisCache::LoopsKind], HitsBefore + 1)
+      << "the query after restore must be a hit";
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: cached pipeline vs always-recompute oracle
+//===----------------------------------------------------------------------===//
+
+// The acceptance bar of the whole layer: on every suite program, target and
+// level, the cached pipeline produces byte-identical programs and semantic
+// stats to the always-recompute oracle - while doing measurably less
+// analysis work (the liveness recompute drop is the InsnSelect satellite).
+TEST(AnalysisManagerDiff, CachedVsAlwaysRecomputeByteIdenticalAcrossSuite) {
+  int64_t CachedLivenessRecomputes = 0, OracleLivenessRecomputes = 0;
+  int64_t CachedHits = 0;
+  for (const BenchProgram &BP : suite()) {
+    for (target::TargetKind TK : AllTargets) {
+      for (OptLevel Level : AllLevels) {
+        PipelineOptions Cached; // default: CacheAnalyses on
+        PipelineOptions Oracle;
+        Oracle.CacheAnalyses = false;
+
+        PipelineStats CachedStats, OracleStats;
+        std::string CachedText =
+            compileToText(BP.Source, TK, Level, Cached, &CachedStats);
+        std::string OracleText =
+            compileToText(BP.Source, TK, Level, Oracle, &OracleStats);
+
+        ASSERT_EQ(CachedText, OracleText)
+            << BP.Name << " differs under the analysis cache, level "
+            << optLevelName(Level);
+        EXPECT_EQ(CachedStats.FixpointIterations,
+                  OracleStats.FixpointIterations) << BP.Name;
+        EXPECT_EQ(CachedStats.Replication.JumpsReplaced,
+                  OracleStats.Replication.JumpsReplaced) << BP.Name;
+        EXPECT_EQ(CachedStats.DelaySlotNops, OracleStats.DelaySlotNops)
+            << BP.Name;
+
+        const int LV = static_cast<int>(AnalysisID::Liveness);
+        CachedLivenessRecomputes += CachedStats.Analysis.Recomputes[LV];
+        OracleLivenessRecomputes += OracleStats.Analysis.Recomputes[LV];
+        CachedHits += CachedStats.Analysis.totalHits();
+        // The shortest-paths cache is fingerprint-validated rather than
+        // epoch-based and stays on in oracle mode (seed semantics), so only
+        // the epoch-stamped analyses must show zero oracle hits.
+        for (int I = 0; I < NumAnalysisIDs; ++I) {
+          if (static_cast<AnalysisID>(I) == AnalysisID::ShortestPaths)
+            continue;
+          EXPECT_EQ(OracleStats.Analysis.Hits[I], 0)
+              << BP.Name << ": the oracle must never serve a cached "
+              << analysisName(static_cast<AnalysisID>(I));
+        }
+      }
+    }
+  }
+  EXPECT_GT(CachedHits, 0) << "the cache must serve some queries";
+  EXPECT_LT(CachedLivenessRecomputes, OracleLivenessRecomputes)
+      << "whole-suite liveness recomputes must drop under the cache";
+}
+
+TEST(AnalysisManagerDiff, CachedVsAlwaysRecomputeOnRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    std::string Source = tests::randomProgram(Seed);
+    target::TargetKind TK =
+        Seed % 2 ? target::TargetKind::Sparc : target::TargetKind::M68;
+    OptLevel Level = AllLevels[Seed % 3];
+
+    PipelineOptions Cached;
+    PipelineOptions Oracle;
+    Oracle.CacheAnalyses = false;
+
+    ASSERT_EQ(compileToText(Source, TK, Level, Cached),
+              compileToText(Source, TK, Level, Oracle))
+        << "seed " << Seed << "\n" << Source;
+  }
+}
+
+// Per-function managers are private to their pipeline task: the parallel
+// driver must hold the same bar with caching on at any worker count. (The
+// ThreadSanitizer CI job runs this test to assert no manager state crosses
+// ThreadPool workers.)
+TEST(AnalysisManagerDiff, CachedParallelMatchesSerialOracle) {
+  PipelineOptions Oracle;
+  Oracle.Jobs = 1;
+  Oracle.CacheAnalyses = false;
+  PipelineOptions CachedParallel;
+  CachedParallel.Jobs = 4;
+  for (const BenchProgram &BP : suite()) {
+    ASSERT_EQ(compileToText(BP.Source, target::TargetKind::Sparc,
+                            OptLevel::Jumps, CachedParallel),
+              compileToText(BP.Source, target::TargetKind::Sparc,
+                            OptLevel::Jumps, Oracle))
+        << BP.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManagerObs, MetricsMirrorTheStatsCounters) {
+  obs::TraceSink Sink;
+  PipelineOptions Opts;
+  Opts.Trace.Sink = &Sink;
+  Compilation C = compile(suite().front().Source, target::TargetKind::Sparc,
+                          OptLevel::Jumps, &Opts);
+  ASSERT_TRUE(C.ok());
+  const AnalysisCounters &A = C.Pipeline.Analysis;
+  for (int I = 0; I < NumAnalysisIDs; ++I) {
+    const std::string Name = analysisName(static_cast<AnalysisID>(I));
+    EXPECT_EQ(Sink.metrics().value("analysis." + Name + ".hits"), A.Hits[I])
+        << Name;
+    EXPECT_EQ(Sink.metrics().value("analysis." + Name + ".recomputes"),
+              A.Recomputes[I])
+        << Name;
+    EXPECT_EQ(Sink.metrics().value("analysis." + Name + ".invalidations"),
+              A.Invalidations[I])
+        << Name;
+  }
+  EXPECT_EQ(Sink.metrics().value("driver.analysis_hits"), A.totalHits());
+  EXPECT_EQ(Sink.metrics().value("driver.analysis_recomputes"),
+            A.totalRecomputes());
+  EXPECT_GT(A.totalHits(), 0);
+}
+
+} // namespace
