@@ -32,6 +32,11 @@
 // BENCH_history.jsonl (--history=FILE to relocate, --no-history to skip),
 // giving the regression trail run_benches.sh diffs against.
 //
+// The run closes with an oracle-overhead pair: one plain JUMPS sweep and
+// one with the final-state execution oracle (--verify=final) attached, so
+// the history records what translation validation costs on top of a
+// compile (verify_off_total_us vs verify_final_total_us).
+//
 //===----------------------------------------------------------------------===//
 
 #include "Suite.h"
@@ -41,6 +46,7 @@
 #include "obs/TraceCli.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
+#include "verify/Oracle.h"
 
 #include <atomic>
 #include <chrono>
@@ -337,6 +343,44 @@ int main(int argc, char **argv) {
                 static_cast<long long>(FnCache->diskHits()));
   }
 
+  // Oracle overhead: what translation validation costs on top of a plain
+  // compile. Two more serial JUMPS sweeps over the same tasks -- one with
+  // no verifier, one with the final-state execution oracle attached the
+  // way --verify=final attaches it -- so the delta is the oracle's
+  // snapshot + differential-execution work and nothing else.
+  verify::OracleOptions OracleOpts;
+  OracleOpts.Gran = verify::Granularity::Final;
+  verify::Oracle FinalOracle(OracleOpts);
+  auto verifySweep = [&](opt::FunctionVerifier *V) {
+    auto Start = std::chrono::steady_clock::now();
+    for (const auto &[TK, BP] : Tasks) {
+      opt::PipelineOptions VerifyOpts;
+      VerifyOpts.Verifier = V;
+      driver::Compilation C =
+          driver::compile(BP->Source, TK, opt::OptLevel::Jumps, &VerifyOpts);
+      if (!C.ok())
+        std::exit(1);
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+  int64_t VerifyOffUs = verifySweep(nullptr);
+  int64_t VerifyFinalUs = verifySweep(&FinalOracle);
+  verify::OracleCounters VerifyCounters = FinalOracle.counters();
+  double VerifyOverhead =
+      VerifyOffUs > 0 ? static_cast<double>(VerifyFinalUs) / VerifyOffUs : 0.0;
+  std::printf("\noracle overhead: verify=off sweep %lld us, verify=final "
+              "sweep %lld us (%.2fx, %lld checks, %lld mismatches)\n",
+              static_cast<long long>(VerifyOffUs),
+              static_cast<long long>(VerifyFinalUs), VerifyOverhead,
+              static_cast<long long>(VerifyCounters.Checks),
+              static_cast<long long>(VerifyCounters.Mismatches));
+  if (VerifyCounters.Mismatches > 0)
+    std::fprintf(stderr, "warning: the final-state oracle reported %lld "
+                         "mismatches during the overhead sweep\n",
+                 static_cast<long long>(VerifyCounters.Mismatches));
+
   std::FILE *F = std::fopen(OutPath.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
@@ -387,6 +431,15 @@ int main(int argc, char **argv) {
     std::fprintf(F, "  \"pipeline_cache_warm_us\": %lld,\n",
                  static_cast<long long>(CacheWarmUs));
   }
+  std::fprintf(F, "  \"verify_off_total_us\": %lld,\n",
+               static_cast<long long>(VerifyOffUs));
+  std::fprintf(F, "  \"verify_final_total_us\": %lld,\n",
+               static_cast<long long>(VerifyFinalUs));
+  std::fprintf(F, "  \"verify_final_overhead\": %.3f,\n", VerifyOverhead);
+  std::fprintf(F, "  \"verify_checks\": %lld,\n",
+               static_cast<long long>(VerifyCounters.Checks));
+  std::fprintf(F, "  \"verify_mismatches\": %lld,\n",
+               static_cast<long long>(VerifyCounters.Mismatches));
   std::fprintf(F, "  \"programs\": [\n%s\n  ]\n", ProgramsJson.c_str());
   std::fprintf(F, "}\n");
   std::fclose(F);
@@ -405,7 +458,10 @@ int main(int argc, char **argv) {
           "\"analysis_recomputes_baseline\": %lld, "
           "\"analysis_recomputes_optimized\": %lld, "
           "\"liveness_recomputes_baseline\": %lld, "
-          "\"liveness_recomputes_optimized\": %lld}\n",
+          "\"liveness_recomputes_optimized\": %lld, "
+          "\"verify_off_total_us\": %lld, "
+          "\"verify_final_total_us\": %lld, "
+          "\"verify_final_overhead\": %.3f}\n",
           isoUtcNow().c_str(), gitSha().c_str(), Jobs, Reps,
           static_cast<long long>(EndToEndUs),
           static_cast<long long>(BaselineTotals.TotalUs),
@@ -415,7 +471,9 @@ int main(int argc, char **argv) {
           static_cast<long long>(BaselineTotals.AnalysisRecomputes),
           static_cast<long long>(OptimizedTotals.AnalysisRecomputes),
           static_cast<long long>(BaselineTotals.LivenessRecomputes),
-          static_cast<long long>(OptimizedTotals.LivenessRecomputes));
+          static_cast<long long>(OptimizedTotals.LivenessRecomputes),
+          static_cast<long long>(VerifyOffUs),
+          static_cast<long long>(VerifyFinalUs), VerifyOverhead);
       std::fclose(H);
       std::printf("appended run record to %s\n", HistoryPath.c_str());
     } else {

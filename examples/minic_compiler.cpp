@@ -7,6 +7,7 @@
 //   minic_compiler FILE.mc [--target=m68|sparc] [--level=simple|loops|jumps]
 //                  [--dump] [--input=FILE] [--cache]
 //                  [--jobs=N] [--pipeline-cache[=DIR]]
+//                  [--verify=off|final|pass|round] [--verify-seed=N]
 //
 // Examples:
 //   ./build/examples/minic_compiler bench/programs/queens.mc --level=jumps
@@ -19,6 +20,7 @@
 #include "cfg/FunctionPrinter.h"
 #include "obs/TraceCli.h"
 #include "support/Format.h"
+#include "verify/VerifyCli.h"
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +46,7 @@ int main(int Argc, char **Argv) {
   bool Dump = false, Cache = false;
   obs::TraceCli Obs;
   cache::PipelineCli Pipe;
+  verify::VerifyCli Verify;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -63,7 +66,7 @@ int main(int Argc, char **Argv) {
       Cache = true;
     else if (Arg.rfind("--input=", 0) == 0)
       InputPath = Arg.substr(8);
-    else if (Obs.consume(Arg) || Pipe.consume(Arg))
+    else if (Obs.consume(Arg) || Pipe.consume(Arg) || Verify.consume(Arg))
       ; // handled
     else if (Arg[0] != '-')
       Path = Arg;
@@ -76,8 +79,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: minic_compiler FILE.mc [--target=m68|sparc] "
                  "[--level=simple|loops|jumps] [--dump] [--input=FILE] "
-                 "[--cache] %s %s\n",
-                 cache::PipelineCli::usage(), obs::TraceCli::usage());
+                 "[--cache] %s %s %s\n",
+                 cache::PipelineCli::usage(), obs::TraceCli::usage(),
+                 verify::VerifyCli::usage());
     return 2;
   }
 
@@ -95,6 +99,7 @@ int main(int Argc, char **Argv) {
   opt::PipelineOptions Opts;
   Opts.Trace = Obs.config();
   Pipe.apply(Opts);
+  Verify.apply(Opts, Opts.Trace.Sink);
   driver::Compilation C = driver::compile(Source, TK, Level, &Opts);
   if (!C.ok()) {
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), C.Error.c_str());
@@ -102,7 +107,8 @@ int main(int Argc, char **Argv) {
   }
   if (Dump) {
     std::printf("%s", cfg::toString(*C.Prog).c_str());
-    return Obs.finish() ? 0 : 1;
+    bool VerifyOk = Verify.finish(Opts.Trace.Sink);
+    return Obs.finish() && VerifyOk ? 0 : 1;
   }
 
   std::vector<cache::CacheConfig> Configs;
@@ -144,7 +150,8 @@ int main(int Argc, char **Argv) {
                  100.0 * Bank.caches()[I].stats().missRatio(),
                  static_cast<unsigned long long>(
                      Bank.caches()[I].stats().FetchCost));
-  if (!Obs.finish())
+  bool VerifyOk = Verify.finish(Opts.Trace.Sink);
+  if (!Obs.finish() || !VerifyOk)
     return 1;
   return R.ok() ? 0 : 1;
 }

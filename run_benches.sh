@@ -49,12 +49,16 @@ else:
     prev, cur = runs[-2], runs[-1]
     print(f"bench history: comparing against {prev['git_sha']} ({prev['date']})")
     for key in ("end_to_end_us", "jumps_total_optimized_us",
-                "simple_total_us", "loops_total_us"):
+                "simple_total_us", "loops_total_us",
+                "verify_off_total_us", "verify_final_total_us"):
         p, c = prev.get(key), cur.get(key)
         if not p or c is None:
             continue
         delta = 100.0 * (c - p) / p
         print(f"  {key}: {p} -> {c} us ({delta:+.1f}%)")
+    ratio = cur.get("verify_final_overhead")
+    if ratio:
+        print(f"  oracle overhead (verify=final vs off): {ratio:.2f}x")
 EOF
   echo
 fi

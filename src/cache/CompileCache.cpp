@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace coderep;
 using namespace coderep::cache;
@@ -37,10 +38,14 @@ std::string PipelineCache::keyFor(const cfg::Function &F,
   std::string RtlText = cfg::toString(F);
 
   std::ostringstream Key;
-  Key << "coderep-fn-key v1\n"
+  Key << "coderep-fn-key v2\n"
       << "target " << T.name() << "\n"
       << "level " << static_cast<int>(Options.Level) << "\n"
       << "maxiter " << Options.MaxFixpointIterations << "\n"
+      // The mutation-testing flag deliberately miscompiles, so it is as
+      // semantic as the optimization level. (The Verifier itself is
+      // byte-neutral and stays out, like Jobs.)
+      << "mutate " << (Options.MutateForTesting ? 1 : 0) << "\n"
       << "heuristic " << static_cast<int>(R.Heuristic) << "\n"
       << "maxseq " << R.MaxSequenceRtls << "\n"
       << "growth " << GrowthHex << "\n"
@@ -67,6 +72,11 @@ struct PipelineCache::Entry {
   std::string Key; ///< full key material, compared verbatim on every hit
   std::unique_ptr<cfg::Function> Body; ///< the optimized result
   opt::PipelineStats Semantic; ///< decision counters only (see semanticOnly)
+
+  /// Translation-validation metadata: the body passed its oracle checks
+  /// when first compiled. Key-independent - verification cannot perturb
+  /// bytes - so hits under any verifier config may trust it.
+  bool Verified = false;
 };
 
 namespace {
@@ -183,8 +193,9 @@ bool readInsn(std::istream &In, const char *Tag, rtl::Insn &I) {
 
 void serializeEntry(std::ostream &Out, const PipelineCache::Entry &E) {
   const cfg::Function &F = *E.Body;
-  Out << "coderep-pipeline-cache 1\n";
+  Out << "coderep-pipeline-cache 2\n";
   Out << "key " << E.Key.size() << "\n" << E.Key << "\n";
+  Out << "verified " << (E.Verified ? 1 : 0) << "\n";
   Out << "frame " << F.FrameBytes << " " << F.ParamBytes << "\n";
   Out << "limits " << F.labelLimit() << " " << F.vregLimit() << "\n";
   Out << "promotable " << F.PromotableLocals.size();
@@ -214,8 +225,10 @@ void serializeEntry(std::ostream &Out, const PipelineCache::Entry &E) {
 std::unique_ptr<PipelineCache::Entry> deserializeEntry(std::istream &In) {
   std::string Word;
   int Version = 0;
+  // Version 1 predates the verified flag AND the v1 key schema, whose keys
+  // can never equal a current key; rejecting it degrades to a clean miss.
   if (!(In >> Word >> Version) || Word != "coderep-pipeline-cache" ||
-      Version != 1)
+      Version != 2)
     return nullptr;
 
   size_t KeyLen = 0;
@@ -228,6 +241,11 @@ std::unique_ptr<PipelineCache::Entry> deserializeEntry(std::istream &In) {
 
   auto E = std::make_unique<PipelineCache::Entry>();
   E->Key = std::move(Key);
+
+  int Verified = 0;
+  if (!(In >> Word >> Verified) || Word != "verified")
+    return nullptr;
+  E->Verified = Verified != 0;
   // The stored Name is not needed: hits keep the live function's Name.
   E->Body = std::make_unique<cfg::Function>("<cached>");
   cfg::Function &F = *E->Body;
@@ -359,6 +377,37 @@ bool PipelineCache::lookup(const std::string &Key, cfg::Function &F,
   return false;
 }
 
+bool PipelineCache::writeDiskFile(uint64_t Hash,
+                                  const std::string &Bytes) const {
+  std::error_code Ec;
+  std::filesystem::create_directories(DiskDir, Ec);
+  if (Ec)
+    return false;
+  // Atomic publish: write a private temp file, then rename into place, so
+  // concurrent readers (and writers racing on the same key, who by
+  // construction produce identical bytes) never observe a torn file.
+  const std::string Final = pathFor(Hash);
+  std::ostringstream UniqueName;
+  UniqueName << Final << ".tmp." << reinterpret_cast<uintptr_t>(&Bytes) << "."
+             << std::this_thread::get_id();
+  const std::string Tmp = UniqueName.str();
+  bool Renamed = false;
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (Out) {
+      Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+      Out.flush();
+      if (Out) {
+        Out.close();
+        std::filesystem::rename(Tmp, Final, Ec);
+        Renamed = !Ec;
+      }
+    }
+  }
+  std::filesystem::remove(Tmp, Ec); // no-op after a successful rename
+  return Renamed;
+}
+
 void PipelineCache::store(const std::string &Key, const cfg::Function &F,
                           const opt::PipelineStats &Delta) {
   auto E = std::make_unique<Entry>();
@@ -368,37 +417,48 @@ void PipelineCache::store(const std::string &Key, const cfg::Function &F,
   const uint64_t Hash = fnv1a64(Key);
 
   if (!DiskDir.empty()) {
-    std::error_code Ec;
-    std::filesystem::create_directories(DiskDir, Ec);
-    if (!Ec) {
-      // Atomic publish: write a private temp file, then rename into place,
-      // so concurrent readers (and writers racing on the same key, who by
-      // construction produce identical bytes) never observe a torn file.
-      const std::string Final = pathFor(Hash);
-      std::ostringstream UniqueName;
-      UniqueName << Final << ".tmp." << reinterpret_cast<uintptr_t>(E.get());
-      const std::string Tmp = UniqueName.str();
-      {
-        std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-        if (Out) {
-          serializeEntry(Out, *E);
-          Out.flush();
-          if (Out) {
-            Out.close();
-            std::filesystem::rename(Tmp, Final, Ec);
-            if (!Ec) {
-              std::lock_guard<std::mutex> Lock(Mu);
-              ++DiskWrites;
-            }
-          }
-        }
-      }
-      std::filesystem::remove(Tmp, Ec); // no-op after a successful rename
+    std::ostringstream Bytes;
+    serializeEntry(Bytes, *E);
+    if (writeDiskFile(Hash, Bytes.str())) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++DiskWrites;
     }
   }
 
   std::lock_guard<std::mutex> Lock(Mu);
   insertLocked(Hash, std::move(E));
+}
+
+void PipelineCache::noteVerified(const std::string &Key) {
+  const uint64_t Hash = fnv1a64(Key);
+  std::string Bytes;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Index.find(Hash);
+    if (It == Index.end() || (*It->second)->Key != Key ||
+        (*It->second)->Verified)
+      return;
+    (*It->second)->Verified = true;
+    if (!DiskDir.empty()) {
+      // Serialize under the lock (the entry could be evicted after it is
+      // dropped); the file write itself happens outside.
+      std::ostringstream Out;
+      serializeEntry(Out, **It->second);
+      Bytes = Out.str();
+    }
+  }
+  if (!Bytes.empty() && writeDiskFile(Hash, Bytes)) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++DiskWrites;
+  }
+}
+
+bool PipelineCache::wasVerified(const std::string &Key) const {
+  const uint64_t Hash = fnv1a64(Key);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Hash);
+  return It != Index.end() && (*It->second)->Key == Key &&
+         (*It->second)->Verified;
 }
 
 int64_t PipelineCache::hits() const {
@@ -425,6 +485,13 @@ size_t PipelineCache::entries() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Lru.size();
 }
+size_t PipelineCache::verifiedEntries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &E : Lru)
+    N += E->Verified ? 1 : 0;
+  return N;
+}
 
 void PipelineCache::publishMetrics(obs::MetricsRegistry &M) const {
   std::lock_guard<std::mutex> Lock(Mu);
@@ -432,4 +499,8 @@ void PipelineCache::publishMetrics(obs::MetricsRegistry &M) const {
   M.set("pipeline_cache.evictions", Evictions);
   M.set("pipeline_cache.disk_hits", DiskHits);
   M.set("pipeline_cache.disk_writes", DiskWrites);
+  int64_t Verified = 0;
+  for (const auto &E : Lru)
+    Verified += E->Verified ? 1 : 0;
+  M.set("pipeline_cache.verified_entries", Verified);
 }

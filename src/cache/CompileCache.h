@@ -62,6 +62,12 @@ public:
   void store(const std::string &Key, const cfg::Function &F,
              const opt::PipelineStats &Delta) override;
 
+  /// Key-independent verification metadata (see the base class): marks the
+  /// stored entry and rewrites its disk file so the flag survives the
+  /// process. Verification never changes bytes, so the key is untouched.
+  void noteVerified(const std::string &Key) override;
+  bool wasVerified(const std::string &Key) const override;
+
   // Counters (monotonic over the cache's lifetime).
   int64_t hits() const;       ///< in-memory hits
   int64_t misses() const;     ///< lookups that found nothing anywhere
@@ -69,6 +75,7 @@ public:
   int64_t diskHits() const;   ///< misses satisfied from the disk store
   int64_t diskWrites() const; ///< entry files written
   size_t entries() const;     ///< current in-memory entry count
+  size_t verifiedEntries() const; ///< entries marked via noteVerified
 
   /// Publishes the counters as "pipeline_cache.*" gauges (entries,
   /// evictions, disk_hits, disk_writes; hit/miss deltas are added by
@@ -84,6 +91,7 @@ private:
                   opt::PipelineStats *Stats) const;
   void insertLocked(uint64_t Hash, std::unique_ptr<Entry> E);
   std::string pathFor(uint64_t Hash) const;
+  bool writeDiskFile(uint64_t Hash, const std::string &Bytes) const;
 
   std::string DiskDir;
   size_t MaxEntries;

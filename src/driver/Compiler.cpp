@@ -99,6 +99,8 @@ Compilation driver::compile(const std::string &Source, target::TargetKind TK,
     Sink->metrics().set("driver.analysis_recomputes", A.totalRecomputes());
     Sink->metrics().set("driver.analysis_invalidations",
                         A.totalInvalidations());
+    if (Options.Verifier)
+      Options.Verifier->publishMetrics(Sink->metrics());
   }
   Result.Static = staticStats(*Result.Prog);
   return Result;

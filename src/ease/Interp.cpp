@@ -2,9 +2,13 @@
 
 #include "ease/Interp.h"
 
+#include <algorithm>
+
 #include "support/Check.h"
 #include "support/Format.h"
+#include "support/Rng.h"
 
+#include <climits>
 #include <cstring>
 
 using namespace coderep;
@@ -71,6 +75,9 @@ private:
   bool Halted = false;
   size_t InputPos = 0;
   uint64_t Steps = 0;
+  uint32_t GlobalsEnd = GlobalBase; ///< one past the last global byte
+
+  void exec();
 
   //===--- helpers -------------------------------------------------------===//
 
@@ -425,6 +432,13 @@ void Machine::execute(const Insn &I) {
         trap(Trap::DivByZero, "division by zero");
         return;
       }
+      // The one 32-bit quotient that does not fit in 32 bits. Real targets
+      // fault here (SIGFPE on x86); making it an explicit trap keeps every
+      // machine fault a defined observable for differential fuzzing.
+      if (A == INT32_MIN && B == -1) {
+        trap(Trap::Overflow, "signed division overflow");
+        return;
+      }
       R = I.Op == Opcode::Div ? A / B : A % B;
       break;
     case Opcode::And:
@@ -459,6 +473,15 @@ void Machine::execute(const Insn &I) {
 }
 
 RunResult Machine::run() {
+  exec();
+  if (Options.CaptureGlobals && GlobalsEnd > GlobalBase &&
+      GlobalsEnd <= Mem.size())
+    Result.GlobalsMem.assign(Mem.begin() + GlobalBase,
+                             Mem.begin() + GlobalsEnd);
+  return Result;
+}
+
+void Machine::exec() {
   // Lay out globals, then initialize them (two passes so relocations can
   // reference globals laid out later).
   uint32_t Addr = GlobalBase;
@@ -467,10 +490,18 @@ RunResult Machine::run() {
     GlobalAddr.push_back(Addr);
     Addr += static_cast<uint32_t>(G.Size);
   }
+  GlobalsEnd = Addr;
   if (Addr >= Options.MemBytes / 2) {
     trap(Trap::OutOfBounds, "globals exceed data memory");
-    return Result;
+    return;
   }
+  // The fuzzing memory image first, so declared initializers and
+  // relocations below overwrite it: uninitialized globals start at
+  // deterministic garbage instead of zero.
+  if (Options.MemImage)
+    for (size_t I = 0;
+         I < Options.MemImage->size() && GlobalBase + I < Mem.size(); ++I)
+      Mem[GlobalBase + I] = (*Options.MemImage)[I];
   for (size_t GI = 0; GI < P.Globals.size(); ++GI) {
     const Global &G = P.Globals[GI];
     uint32_t Base = GlobalAddr[GI];
@@ -479,19 +510,35 @@ RunResult Machine::run() {
     for (auto [Off, Sym] : G.Relocs) {
       if (Sym < 0 || Sym >= static_cast<int>(GlobalAddr.size())) {
         trap(Trap::BadProgram, "relocation against unknown global");
-        return Result;
+        return;
       }
       store(Base + static_cast<uint32_t>(Off), 4, GlobalAddr[Sym]);
     }
   }
 
-  Func = P.findFunction("main");
-  if (Func < 0) {
-    trap(Trap::BadProgram, "no main function");
-    return Result;
+  if (Options.EntryFunction >= 0) {
+    if (Options.EntryFunction >= static_cast<int>(P.Functions.size())) {
+      trap(Trap::BadProgram, "entry function out of range");
+      return;
+    }
+    Func = Options.EntryFunction;
+    Regs = freshRegs(fn());
+    // Leave headroom above SP for the argument words (the callee reads its
+    // parameters at [SP + 4*i], exactly where a real caller stores them).
+    const int64_t SP = static_cast<int64_t>(Options.MemBytes) - 64;
+    setReg(RegSP, SP);
+    for (size_t I = 0; I < Options.EntryArgs.size() && I < 12; ++I)
+      store(static_cast<uint32_t>(SP) + 4 * static_cast<uint32_t>(I), 4,
+            Options.EntryArgs[I]);
+  } else {
+    Func = P.findFunction("main");
+    if (Func < 0) {
+      trap(Trap::BadProgram, "no main function");
+      return;
+    }
+    Regs = freshRegs(fn());
+    setReg(RegSP, static_cast<int64_t>(Options.MemBytes) - 16);
   }
-  Regs = freshRegs(fn());
-  setReg(RegSP, static_cast<int64_t>(Options.MemBytes) - 16);
 
   while (!Halted) {
     if (++Steps > Options.MaxSteps) {
@@ -571,6 +618,37 @@ RunResult Machine::run() {
         ++InsnIdx;
         break;
       }
+      if (Options.StubCalls) {
+        // Uninterpreted call: record the observable (callee + argument
+        // words) and synthesize a return value that depends only on
+        // (StubSeed, event index, callee), so the event stream and every
+        // downstream value are identical across differential runs.
+        ++Result.Stats.Calls;
+        RunResult::CallEvent Ev;
+        Ev.Callee = I.Callee;
+        const uint32_t SP = static_cast<uint32_t>(getReg(RegSP));
+        uint32_t NArgs = 4;
+        if (Options.StubArity && I.Callee >= 0 &&
+            I.Callee < static_cast<int>(Options.StubArity->size()))
+          NArgs = std::min<uint32_t>(
+              4, static_cast<uint32_t>((*Options.StubArity)[I.Callee]));
+        for (uint32_t A = 0; A < NArgs; ++A) {
+          const uint32_t At = SP + 4 * A;
+          if (At >= GlobalBase && At + 4 <= Mem.size()) {
+            uint32_t V;
+            std::memcpy(&V, &Mem[At], 4);
+            Ev.Args[A] = static_cast<int32_t>(V);
+          }
+        }
+        Rng G(Options.StubSeed ^
+              0x9e3779b97f4a7c15ULL * (Result.CallEvents.size() + 1) ^
+              0x517cc1b727220a95ULL * static_cast<uint64_t>(I.Callee));
+        Ev.Rv = static_cast<int32_t>(G.next());
+        setReg(RegRV, Ev.Rv);
+        Result.CallEvents.push_back(Ev);
+        ++InsnIdx;
+        break;
+      }
       if (I.Callee >= static_cast<int>(P.Functions.size())) {
         trap(Trap::BadProgram, "call to unknown function");
         break;
@@ -612,7 +690,6 @@ RunResult Machine::run() {
       break;
     }
   }
-  return Result;
 }
 
 } // namespace

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace coderep::ease {
 
@@ -48,15 +49,53 @@ struct RunOptions {
   uint64_t MaxSteps = 1ull << 32;     ///< runaway guard
   std::string Input;                  ///< bytes returned by getchar()
   FetchSink *Sink = nullptr;          ///< optional fetch-address consumer
+
+  /// Function-entry mode, used by the translation-validation oracle
+  /// (verify::Oracle) to execute a single function in isolation: when
+  /// >= 0, execution starts at this function index instead of "main",
+  /// EntryArgs are stored at [SP + 4*i] (the stack argument convention of
+  /// frontend::CodeGen), and the entry function's return value becomes the
+  /// run's exit code.
+  int EntryFunction = -1;
+  std::vector<int32_t> EntryArgs;
+
+  /// Treat calls to measured (non-intrinsic) functions as uninterpreted
+  /// observables: each call is recorded as a RunResult::CallEvent and its
+  /// return value is synthesized deterministically from StubSeed, the
+  /// event index and the callee id, so a lone function can be executed
+  /// while the rest of the program is mid-optimization. Intrinsics still
+  /// execute normally.
+  bool StubCalls = false;
+  uint64_t StubSeed = 0;
+
+  /// Optional per-callee argument-word counts, indexed by function id.
+  /// A stubbed call to callee C then records only the first StubArity[C]
+  /// argument words (clamped to 4): the words beyond a callee's declared
+  /// parameters are the caller's own frame, whose layout legally changes
+  /// under optimization. Callees outside the vector keep the 4-word peek.
+  const std::vector<int> *StubArity = nullptr;
+
+  /// Bytes copied over the data segment starting at the global base
+  /// *before* globals are initialized (declared initializers and
+  /// relocations win), giving fuzzers a deterministic nonzero initial
+  /// memory image. Clipped to the data segment.
+  const std::vector<uint8_t> *MemImage = nullptr;
+
+  /// Capture the final globals region into RunResult::GlobalsMem so
+  /// differential harnesses can compare observable stores byte by byte.
+  bool CaptureGlobals = false;
 };
 
-/// Why a run ended.
+/// Why a run ended. Every runtime fault of the interpreted machine is a
+/// defined, observable trap - never host UB - so differential fuzzing can
+/// compare trap behavior across optimization levels.
 enum class Trap {
   None,          ///< main returned or exit() was called
   OutOfBounds,   ///< memory access outside the data segment
   DivByZero,
   StepLimit,
   BadProgram,    ///< malformed control flow or missing main
+  Overflow,      ///< signed division overflow (INT32_MIN / -1)
 };
 
 /// Dynamic measurements of one run (the paper's EASE counters).
@@ -83,11 +122,22 @@ struct DynamicStats {
 
 /// Result of a run.
 struct RunResult {
+  /// One stubbed (uninterpreted) call, recorded in execution order when
+  /// RunOptions::StubCalls is set.
+  struct CallEvent {
+    int Callee = 0;
+    int32_t Args[4] = {0, 0, 0, 0}; ///< first argument words at [SP]
+    int32_t Rv = 0;                 ///< the synthesized return value
+    bool operator==(const CallEvent &O) const = default;
+  };
+
   Trap TrapKind = Trap::None;
   std::string TrapMessage;
   int32_t ExitCode = 0;
   std::string Output; ///< bytes written via putchar/puts/printf
   DynamicStats Stats;
+  std::vector<CallEvent> CallEvents; ///< stubbed calls (StubCalls mode)
+  std::vector<uint8_t> GlobalsMem;   ///< final globals bytes (CaptureGlobals)
 
   bool ok() const { return TrapKind == Trap::None; }
 };

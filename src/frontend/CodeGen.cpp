@@ -797,6 +797,9 @@ void CodeGen::genSwitch(const Stmt &S) {
     }
     emit(Insn::jump(DefaultL));
   }
+  // The dispatch block is terminated; statements before the first case
+  // label (unreachable, but legal) must open a fresh block.
+  startBlock();
 
   // Body with break routed to ExitL (continue stays with enclosing loop).
   LoopStack.push_back({ExitL, -1});

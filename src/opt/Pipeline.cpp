@@ -181,7 +181,8 @@ static bool runReplication(Function &F, const PipelineOptions &Options,
     return false;
   case OptLevel::Loops:
     return replicate::runLoops(F, S, Options.Replication.Trace,
-                               &AM.shapeCache());
+                               &AM.shapeCache(),
+                               Options.Replication.Validator);
   case OptLevel::Jumps:
     return replicate::runJumps(F, Options.Replication, S, &AM.shortestPaths(),
                                &AM.shapeCache());
@@ -221,6 +222,15 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
                           format("\"function\": \"%s\", \"level\": \"%s\"",
                                  F.Name.c_str(), optLevelName(Options.Level)));
 
+  // Translation validation: the session snapshots F in its current
+  // (post-legalize) state and re-checks it at the verifier's granularity
+  // as the passes below report in.
+  std::unique_ptr<FunctionVerifier::Session> VS;
+  if (Options.Verifier)
+    VS = Options.Verifier->makeSession(F);
+  // 0 = the pre-loop passes, 1.. = fixpoint rounds, -1 = post-loop.
+  int CurRound = 0;
+
   // The analysis registry for this function: every pass queries its
   // analyses here, and its shortest-path cache carries the step-1 matrix
   // from one replication invocation to the next (the fixpoint loop's later
@@ -244,14 +254,38 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
 
   PassRunner run(Stats, Sink);
 
+  // The mutation-testing self-check: reverse the first conditional branch
+  // once, immediately after a constant-folding invocation, so the verify
+  // subsystem can prove it detects (and attributes) a real miscompile.
+  bool MutationDone = false;
+  auto injectMutation = [&]() -> bool {
+    if (!Options.MutateForTesting || MutationDone)
+      return false;
+    for (int B = 0; B < F.size(); ++B)
+      for (rtl::Insn &I : F.block(B)->Insns)
+        if (I.Op == rtl::Opcode::CondJump) {
+          I.Cond = rtl::negate(I.Cond);
+          F.noteRtlEdit();
+          MutationDone = true;
+          return true;
+        }
+    return false;
+  };
+
   // The commit protocol: record the epoch, run the pass, and on a change
   // let the manager keep exactly the analyses the pass vouched for.
   auto runPass = [&](Phase Ph, Pass &P) {
     return run(Ph, [&] {
       const uint64_t Before = F.analysisEpoch();
       PassResult R = P.run(F, AM);
+      if (Ph == Phase::ConstantFolding && injectMutation()) {
+        R.Changed = true;
+        R.Preserved = PreservedAnalyses::none();
+      }
       if (R.Changed)
         AM.commit(Before, R.Preserved);
+      if (VS)
+        VS->afterPass(Ph, CurRound, F, R.Changed);
       return R.Changed;
     });
   };
@@ -263,6 +297,8 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       if (Changed)
         AM.commit(Before, PreservedAnalyses::none().preserve(
                               AnalysisID::ShortestPaths));
+      if (VS)
+        VS->afterPass(Phase::Replication, CurRound, F, Changed);
       return Changed;
     });
   };
@@ -332,6 +368,7 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
                                 format("\"function\": \"%s\", \"round\": %d",
                                        F.Name.c_str(), Iter));
+      CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
         if (!(Dirty & fpBit(P))) {
           if (Stats)
@@ -345,6 +382,8 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
           Dirty |= Invalidates[P];
       }
       F.verify();
+      if (VS)
+        VS->endRound(Iter, F);
     }
     // An empty dirty set means the loop converged: its last round ran
     // only the still-dirty passes and all of them came back clean (the
@@ -360,17 +399,21 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
                                 format("\"function\": \"%s\", \"round\": %d",
                                        F.Name.c_str(), Iter));
+      CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
         if (Stats)
           ++Stats->FixpointPassesRun;
         Changed |= runFixpointPass(P);
       }
       F.verify();
+      if (VS)
+        VS->endRound(Iter, F);
     }
   }
   if (Stats)
     Stats->FixpointIterations += Iter;
 
+  CurRound = -1;
   runPass(Phase::RegisterAllocation, *RegAlloc);
   runPass(Phase::BranchChaining, *BranchChain);
   runPass(Phase::UnreachableElim, *Unreachable);
@@ -385,6 +428,8 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       Stats->DelaySlotNops += Nops;
   }
   F.verify();
+  if (VS)
+    VS->endFunction(F);
 
   if (Stats) {
     Stats->SpCacheHits += AM.shortestPaths().hits();
@@ -426,6 +471,8 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
                           PipelineStats *Stats) {
   const size_t N = P.Functions.size();
   FunctionOptimizationCache *Cache = Options.FunctionCache;
+  if (Options.Verifier)
+    Options.Verifier->beginProgram(P);
 
   // Optimizes one function into private stats: cache consult first, the
   // full pipeline on a miss. Locals keep the aggregation race-free under
@@ -443,6 +490,8 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
     optimizeFunction(F, T, Options, &Local);
     ++Local.FunctionCacheMisses;
     Cache->store(Key, F, Local);
+    if (Options.Verifier && Options.Verifier->functionVerifiedClean(F.Name))
+      Cache->noteVerified(Key);
   };
 
   unsigned Jobs = Options.Jobs == 0 ? std::thread::hardware_concurrency()

@@ -48,12 +48,14 @@
 #include "replicate/Replication.h"
 #include "target/Target.h"
 
+#include <memory>
 #include <string>
 
 namespace coderep::opt {
 
 struct PipelineOptions;
 struct PipelineStats;
+enum class Phase;
 
 /// Content-addressed memo of optimized function bodies. The pipeline sees
 /// only this interface (the implementation lives in cache/CompileCache.h,
@@ -89,6 +91,69 @@ public:
   /// caller's stats on future hits.
   virtual void store(const std::string &Key, const cfg::Function &F,
                      const PipelineStats &Delta) = 0;
+
+  /// Marks \p Key's stored entry as translation-validated. Verification is
+  /// byte-neutral and therefore NOT part of content keys, so a hit can be
+  /// served to a verifying compile without re-verifying; this
+  /// key-independent metadata records that the body passed its checks when
+  /// it was first compiled. Default no-op for caches that don't persist it.
+  virtual void noteVerified(const std::string &Key) { (void)Key; }
+
+  /// True when \p Key's entry is present and was marked verified.
+  virtual bool wasVerified(const std::string &Key) const {
+    (void)Key;
+    return false;
+  }
+};
+
+/// Observes optimizeFunction for translation validation. Like
+/// FunctionOptimizationCache above, only the interface lives here; the
+/// implementation (a differential execution oracle) lives in
+/// verify/Oracle.h, keeping the dependency pointing from verify to opt.
+/// makeSession is called once per function - concurrently when Jobs > 1,
+/// so it and every other method on this class must be thread-safe; the
+/// returned session is driven from one worker thread only.
+class FunctionVerifier {
+public:
+  virtual ~FunctionVerifier() = default;
+
+  /// Per-function observer. The pipeline reports every pass invocation
+  /// plus round and function boundaries; which events trigger an actual
+  /// check (the verification granularity) is the implementation's choice.
+  class Session {
+  public:
+    virtual ~Session() = default;
+
+    /// After each pass invocation. \p Round is 0 before the Figure-3
+    /// fixpoint loop, the 1-based round number inside it, and -1 for the
+    /// post-loop passes (register allocation onward).
+    virtual void afterPass(Phase Ph, int Round, const cfg::Function &F,
+                           bool Changed) = 0;
+
+    /// After each completed fixpoint round.
+    virtual void endRound(int Round, const cfg::Function &F) = 0;
+
+    /// After the whole pipeline, delay slots included.
+    virtual void endFunction(const cfg::Function &F) = 0;
+  };
+
+  /// Called by optimizeProgram with the whole program before any function
+  /// is optimized, so implementations can capture the globals the
+  /// functions' memory operands refer to.
+  virtual void beginProgram(const cfg::Program &P) = 0;
+
+  /// Creates the observer for \p F, which is in its pre-optimization
+  /// (post-legalize) state. May return null to skip the function.
+  virtual std::unique_ptr<Session> makeSession(const cfg::Function &F) = 0;
+
+  /// True when every check run against function \p Name came back clean;
+  /// optimizeProgram uses this to mark freshly stored cache entries as
+  /// verified (FunctionOptimizationCache::noteVerified).
+  virtual bool functionVerifiedClean(const std::string &Name) const = 0;
+
+  /// Publishes the verifier's counters as "verify.*" metrics (called by
+  /// the driver when a trace sink is attached; default no-op).
+  virtual void publishMetrics(obs::MetricsRegistry &M) const { (void)M; }
 };
 
 /// The three measured configurations of the paper's Section 5.
@@ -141,6 +206,23 @@ struct PipelineOptions {
   /// and the config is forwarded into Replication.Trace so the replication
   /// passes emit their decision records into the same sink.
   obs::TraceConfig Trace;
+
+  /// Translation validation: when set, optimizeFunction opens a verifier
+  /// session per function and reports every pass invocation into it. The
+  /// verifier only observes (byte-neutral), so like Jobs it is NOT folded
+  /// into FunctionOptimizationCache keys; cache hits therefore bypass
+  /// re-verification, and freshly stored bodies that verified clean are
+  /// marked via FunctionOptimizationCache::noteVerified instead. Not
+  /// owned. See verify/Oracle.h and verify/VerifyCli.h.
+  FunctionVerifier *Verifier = nullptr;
+
+  /// Hidden mutation-testing flag: right after the first constant-folding
+  /// invocation the pipeline reverses one conditional branch, silently
+  /// miscompiling the function. Exists so the verify subsystem can prove
+  /// end-to-end that it catches, attributes and reduces a real miscompile.
+  /// Semantic (it changes output bytes), so it IS folded into function
+  /// cache keys.
+  bool MutateForTesting = false;
 };
 
 /// The individually timed passes of the pipeline, in Figure-3 order.

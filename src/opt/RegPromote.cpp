@@ -10,6 +10,7 @@
 
 #include "opt/Pass.h"
 
+#include <algorithm>
 #include <map>
 
 using namespace coderep;
@@ -46,9 +47,13 @@ bool opt::runRegisterAssignment(Function &F) {
     }
 
   // Parameters live at FP+4i on entry: load them into their registers
-  // right after the prologue.
+  // right after the prologue. Reduced or synthetic functions (see
+  // verify/Reduce.cpp) can have a degenerate entry block whose prologue is
+  // gone, so the insertion point must never pass the terminator.
   BasicBlock *Entry = F.block(0);
   size_t InsertAt = Entry->Insns.size() >= 2 ? 2 : Entry->Insns.size();
+  if (Entry->terminator())
+    InsertAt = std::min(InsertAt, Entry->Insns.size() - 1);
   for (auto It = SlotToReg.rbegin(); It != SlotToReg.rend(); ++It) {
     auto [Off, Reg] = *It;
     if (Off < 0)

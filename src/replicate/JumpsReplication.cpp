@@ -159,11 +159,20 @@ bool JumpsPass::runRound() {
   }
   RoundLI = AC.loopsShared();
   bool Changed = false;
+  // Pre-rewrite snapshot for the validator; refreshed after every applied
+  // rewrite (step-6 rollbacks restore F exactly, so failures keep it live).
+  std::unique_ptr<Function> PreRewrite;
+  if (O.Validator)
+    PreRewrite = F.clone();
   for (int B = 0; B < F.size() && S.JumpsReplaced < O.MaxReplacements; ++B) {
     if (!F.block(B)->endsWithJump())
       continue;
     if (tryJumpAt(B)) {
       Changed = true;
+      if (O.Validator) {
+        O.Validator->checkApplied(*PreRewrite, F, "JUMPS", Round);
+        PreRewrite = F.clone();
+      }
       // The flow graph changed; the loop structure must be recomputed
       // before the next candidate is planned. (The shortest-path matrix
       // intentionally stays stale for the rest of the round, as in the

@@ -139,9 +139,13 @@ bool loopsOnce(Function &F, AnalysisCache &AC, ReplicationStats &S,
 
 } // namespace
 
+// Out-of-line anchor for the validation hook's vtable.
+ReplicationValidator::~ReplicationValidator() = default;
+
 bool replicate::runLoops(Function &F, ReplicationStats *Stats,
                          const obs::TraceConfig &Trace,
-                         AnalysisCache *Analyses) {
+                         AnalysisCache *Analyses,
+                         ReplicationValidator *Validator) {
   ReplicationStats Local;
   ReplicationStats &S = Stats ? *Stats : Local;
   // Without a caller-provided cache, fall back to a disabled local one:
@@ -150,8 +154,22 @@ bool replicate::runLoops(Function &F, ReplicationStats *Stats,
   AnalysisCache &AC = Analyses ? *Analyses : LocalAC;
   bool Changed = false;
   int Guard = 0;
-  while (loopsOnce(F, AC, S, Trace, Guard + 1) && Guard++ < 1000)
-    Changed = true;
+  if (!Validator) {
+    while (loopsOnce(F, AC, S, Trace, Guard + 1) && Guard++ < 1000)
+      Changed = true;
+  } else {
+    // Same loop, but each applied rewrite is bracketed with a pre-state
+    // clone so the validator sees exactly one rewrite per check.
+    while (true) {
+      std::unique_ptr<Function> Pre = F.clone();
+      if (!loopsOnce(F, AC, S, Trace, Guard + 1))
+        break;
+      Validator->checkApplied(*Pre, F, "LOOPS", Guard + 1);
+      Changed = true;
+      if (Guard++ >= 1000)
+        break;
+    }
+  }
   if (Changed)
     removeUnreachableBlocks(F);
   return Changed;

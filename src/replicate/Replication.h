@@ -32,6 +32,24 @@
 
 namespace coderep::replicate {
 
+/// Validation hook invoked after every applied replication rewrite. The
+/// interface lives here (not in verify/) so the replicate layer stays free
+/// of a dependency on the validator's implementation, mirroring how
+/// opt::FunctionVerifier decouples the pipeline from verify::Oracle; the
+/// concrete checker (verify::BisimValidator) runs a lockstep CFG
+/// bisimulation of the pre/post functions.
+class ReplicationValidator {
+public:
+  virtual ~ReplicationValidator();
+
+  /// Called with the function state immediately before (\p Before) and
+  /// after (\p After) one applied rewrite. \p Algorithm is "JUMPS" or
+  /// "LOOPS"; \p Round is the 1-based replication round.
+  virtual void checkApplied(const cfg::Function &Before,
+                            const cfg::Function &After,
+                            const char *Algorithm, int Round) = 0;
+};
+
 /// Which replacement sequence JUMPS step 2 prefers when both exist.
 enum class PathChoice {
   Shortest,     ///< minimize replicated RTLs (the paper's stated goal)
@@ -80,6 +98,11 @@ struct ReplicationOptions {
   /// replication rounds emit nested span events. A default-constructed
   /// TraceConfig disables all of it at the cost of one pointer test.
   obs::TraceConfig Trace;
+
+  /// When set, every applied rewrite is reported with its pre/post
+  /// function states. Costs one clone per applied rewrite, so this is a
+  /// verification-mode knob, not a production default.
+  ReplicationValidator *Validator = nullptr;
 };
 
 /// Counters describing what the pass did. The three rejection counters
@@ -129,9 +152,11 @@ bool runJumps(cfg::Function &F, const ReplicationOptions &Options = {},
 /// Loop-condition replication only. Returns true if the function changed.
 /// \p Trace, when enabled, receives one decision record per rewritten jump.
 /// \p Analyses, when given, serves the per-round loop queries.
+/// \p Validator, when given, is told about every applied rewrite.
 bool runLoops(cfg::Function &F, ReplicationStats *Stats = nullptr,
               const obs::TraceConfig &Trace = {},
-              cfg::AnalysisCache *Analyses = nullptr);
+              cfg::AnalysisCache *Analyses = nullptr,
+              ReplicationValidator *Validator = nullptr);
 
 } // namespace coderep::replicate
 

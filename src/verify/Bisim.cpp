@@ -1,0 +1,218 @@
+//===- Bisim.cpp - CFG bisimulation check for replication ----------------------===//
+//
+// The product-graph walk. A configuration is a pair of program points,
+// one per function version; from every configuration both points are
+// first advanced through "glue" (fall-throughs and unconditional jumps),
+// then the instructions at rest are matched and the successor
+// configurations are pushed. Cycles in the product graph are cut
+// coinductively: a revisited configuration is assumed equivalent, which
+// is exactly the greatest-fixpoint reading of bisimilarity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Bisim.h"
+
+#include "rtl/Insn.h"
+#include "support/Format.h"
+
+#include <array>
+#include <set>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::verify;
+
+namespace {
+
+/// A program point inside one function version.
+struct Point {
+  int B = 0; ///< positional block index
+  int I = 0; ///< instruction index within the block
+  bool Diverged = false; ///< glue-skipping exceeded the jump budget
+};
+
+/// Advances \p P past fall-throughs and unconditional jumps until it rests
+/// on an observable instruction. A chain of more than F.size()+2 jumps can
+/// only be a jump-only cycle, i.e. silent divergence; that is reported in
+/// Point::Diverged rather than looping forever (two sides that both
+/// diverge are equivalent - neither ever observes anything again).
+Point skipGlue(const Function &F, Point P) {
+  int JumpBudget = F.size() + 2;
+  while (true) {
+    const BasicBlock *Blk = F.block(P.B);
+    if (P.I >= static_cast<int>(Blk->Insns.size())) {
+      // Fall off the block's end: positional fall-through. verify()
+      // guarantees the final block ends in a transfer, so B+1 exists.
+      P.B += 1;
+      P.I = 0;
+      continue;
+    }
+    const rtl::Insn &In = Blk->Insns[static_cast<size_t>(P.I)];
+    if (In.Op == rtl::Opcode::Jump) {
+      if (--JumpBudget < 0) {
+        P.Diverged = true;
+        return P;
+      }
+      P.B = F.indexOfLabel(In.Target);
+      P.I = 0;
+      continue;
+    }
+    return P;
+  }
+}
+
+struct Walker {
+  const Function &FP;
+  const Function &FQ;
+  std::set<std::array<int, 4>> Seen;
+  std::vector<std::array<int, 4>> Work;
+  BisimResult Result;
+
+  /// Generous for real functions (the largest suite function stays in the
+  /// hundreds of configurations); overflow is accepted, see Bisim.h.
+  static constexpr size_t MaxConfigs = 1 << 16;
+
+  void push(Point P, Point Q) { Work.push_back({P.B, P.I, Q.B, Q.I}); }
+
+  void fail(const Point &P, const Point &Q, const std::string &Why) {
+    if (!Result.Equivalent)
+      return; // keep the first divergence
+    Result.Equivalent = false;
+    Result.Detail = format("at L%d+%d / L%d+%d: %s", FP.block(P.B)->Label, P.I,
+                           FQ.block(Q.B)->Label, Q.I, Why.c_str());
+  }
+
+  Point taken(const Function &F, const rtl::Insn &In) {
+    return {F.indexOfLabel(In.Target), 0, false};
+  }
+
+  void step(std::array<int, 4> C);
+  void run();
+};
+
+void Walker::step(std::array<int, 4> C) {
+  Point P = skipGlue(FP, {C[0], C[1], false});
+  Point Q = skipGlue(FQ, {C[2], C[3], false});
+  if (P.Diverged || Q.Diverged) {
+    if (P.Diverged != Q.Diverged)
+      fail(P, Q, "one side diverges in a jump-only cycle");
+    return; // both diverge: equivalent leaf
+  }
+  if (!Seen.insert({P.B, P.I, Q.B, Q.I}).second)
+    return; // revisited configuration: assumed equivalent (coinduction)
+  if (Seen.size() > MaxConfigs)
+    return;
+
+  const rtl::Insn &IP = FP.block(P.B)->Insns[static_cast<size_t>(P.I)];
+  const rtl::Insn &IQ = FQ.block(Q.B)->Insns[static_cast<size_t>(Q.I)];
+
+  if (IP.Op == rtl::Opcode::CondJump || IQ.Op == rtl::Opcode::CondJump) {
+    if (IP.Op != IQ.Op) {
+      fail(P, Q,
+           "conditional branch vs " + rtl::toString(IQ.Op == rtl::Opcode::CondJump ? IP : IQ));
+      return;
+    }
+    // CondJump terminates its block; the false edge is the positional
+    // fall-through (verify() guarantees B+1 exists).
+    Point PTaken = taken(FP, IP), PFall = {P.B + 1, 0, false};
+    Point QTaken = taken(FQ, IQ), QFall = {Q.B + 1, 0, false};
+    if (IP.Cond == IQ.Cond) {
+      push(PTaken, QTaken);
+      push(PFall, QFall);
+    } else if (IP.Cond == rtl::negate(IQ.Cond)) {
+      // Step-4 branch reversal: the copy branches where the original fell
+      // through and vice versa.
+      push(PTaken, QFall);
+      push(PFall, QTaken);
+    } else {
+      fail(P, Q, format("incompatible branch conditions: %s vs %s",
+                        rtl::toString(IP).c_str(), rtl::toString(IQ).c_str()));
+    }
+    return;
+  }
+
+  if (IP.Op == rtl::Opcode::SwitchJump || IQ.Op == rtl::Opcode::SwitchJump) {
+    if (IP.Op != IQ.Op || !(IP.Src1 == IQ.Src1) ||
+        IP.Table.size() != IQ.Table.size()) {
+      fail(P, Q, format("indirect jumps differ: %s vs %s",
+                        rtl::toString(IP).c_str(), rtl::toString(IQ).c_str()));
+      return;
+    }
+    for (size_t K = 0; K < IP.Table.size(); ++K)
+      push({FP.indexOfLabel(IP.Table[K]), 0, false},
+           {FQ.indexOfLabel(IQ.Table[K]), 0, false});
+    return;
+  }
+
+  if (IP.Op == rtl::Opcode::Return || IQ.Op == rtl::Opcode::Return) {
+    if (!(IP == IQ))
+      fail(P, Q, format("return vs %s",
+                        rtl::toString(IP.Op == rtl::Opcode::Return ? IQ : IP)
+                            .c_str()));
+    return; // matched returns: equivalent leaf
+  }
+
+  // Every remaining instruction (moves, ALU, compares, calls, nops) must
+  // match exactly - replication copies them verbatim - after which both
+  // sides advance by one.
+  if (!(IP == IQ)) {
+    fail(P, Q, format("instructions differ: %s vs %s",
+                      rtl::toString(IP).c_str(), rtl::toString(IQ).c_str()));
+    return;
+  }
+  push({P.B, P.I + 1, false}, {Q.B, Q.I + 1, false});
+}
+
+void Walker::run() {
+  Work.push_back({0, 0, 0, 0});
+  while (!Work.empty() && Result.Equivalent && Seen.size() <= MaxConfigs) {
+    std::array<int, 4> C = Work.back();
+    Work.pop_back();
+    step(C);
+  }
+}
+
+} // namespace
+
+BisimResult verify::checkBisimulation(const Function &Before,
+                                      const Function &After) {
+  if (Before.size() == 0 || After.size() == 0)
+    return {Before.size() == After.size(), "empty vs non-empty function"};
+  Walker W{Before, After, {}, {}, {}};
+  W.run();
+  return W.Result;
+}
+
+void BisimValidator::checkApplied(const Function &Before, const Function &After,
+                                  const char *Algorithm, int Round) {
+  BisimResult R = checkBisimulation(Before, After);
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Checks;
+  if (!R.Equivalent) {
+    ++Mismatches;
+    Failures.push_back(format("bisim mismatch: fn=%s algo=%s round=%d %s",
+                              Before.Name.c_str(), Algorithm, Round,
+                              R.Detail.c_str()));
+  }
+}
+
+bool BisimValidator::ok() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Mismatches == 0;
+}
+
+std::vector<std::string> BisimValidator::failures() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Failures;
+}
+
+int64_t BisimValidator::checks() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Checks;
+}
+
+void BisimValidator::publishMetrics(obs::MetricsRegistry &M) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  M.set("verify.bisim_checks", Checks);
+  M.set("verify.bisim_mismatches", Mismatches);
+}

@@ -1,6 +1,6 @@
 //===- RandomProgram.cpp - Random MiniC program generator ---------------------===//
 
-#include "RandomProgram.h"
+#include "verify/RandomProgram.h"
 
 #include "support/Format.h"
 #include "support/Rng.h"
@@ -8,7 +8,7 @@
 #include <vector>
 
 using namespace coderep;
-using namespace coderep::tests;
+using namespace coderep::verify;
 
 namespace {
 
@@ -292,7 +292,7 @@ std::string Generator::run() {
 
 } // namespace
 
-std::string tests::randomProgram(uint64_t Seed) {
+std::string verify::randomProgram(uint64_t Seed) {
   Generator G(Seed);
   return G.run();
 }

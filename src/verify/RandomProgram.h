@@ -1,6 +1,7 @@
 //===- RandomProgram.h - Random MiniC program generator ---------*- C++ -*-===//
 //
-// Part of the coderep project test suite.
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
 //
 //===----------------------------------------------------------------------===//
 ///
@@ -11,19 +12,22 @@
 /// a dedicated variable the body never writes; divisions are guarded with
 /// "| 1"; array indices are masked into range.
 ///
+/// Shared by the property tests and the fuzz driver (examples/fuzz_compile),
+/// which is why it lives in the verify library rather than tests/.
+///
 //===----------------------------------------------------------------------===//
 
-#ifndef CODEREP_TESTS_RANDOMPROGRAM_H
-#define CODEREP_TESTS_RANDOMPROGRAM_H
+#ifndef CODEREP_VERIFY_RANDOMPROGRAM_H
+#define CODEREP_VERIFY_RANDOMPROGRAM_H
 
 #include <cstdint>
 #include <string>
 
-namespace coderep::tests {
+namespace coderep::verify {
 
 /// Returns the source of a random MiniC program for \p Seed.
 std::string randomProgram(uint64_t Seed);
 
-} // namespace coderep::tests
+} // namespace coderep::verify
 
-#endif // CODEREP_TESTS_RANDOMPROGRAM_H
+#endif // CODEREP_VERIFY_RANDOMPROGRAM_H

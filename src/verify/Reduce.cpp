@@ -1,0 +1,310 @@
+//===- Reduce.cpp - Delta-debugging reducer for miscompiles --------------------===//
+
+#include "verify/Reduce.h"
+
+#include "cfg/FunctionPrinter.h"
+#include "driver/Compiler.h"
+#include "ease/Interp.h"
+#include "frontend/CodeGen.h"
+#include "opt/Pipeline.h"
+
+#include <memory>
+#include <vector>
+
+using namespace coderep;
+using namespace coderep::cfg;
+using namespace coderep::verify;
+
+namespace {
+
+/// Deep copy (Program has owning pointers, so no copy constructor).
+Program cloneProgram(const Program &P) {
+  Program Out;
+  Out.Globals = P.Globals;
+  for (const auto &F : P.Functions)
+    Out.Functions.push_back(F->clone());
+  return Out;
+}
+
+int blockCount(const Program &P) {
+  int N = 0;
+  for (const auto &F : P.Functions)
+    N += F->size();
+  return N;
+}
+
+struct Harness {
+  const ReduceOptions &O;
+  std::unique_ptr<target::Target> T;
+  opt::PipelineOptions Bad; ///< the miscompiling configuration
+
+  explicit Harness(const ReduceOptions &Opts)
+      : O(Opts), T(target::createTarget(Opts.TK)), Bad(Opts.Pipeline) {
+    Bad.Level = O.Level;
+    // The reducer is itself a verification consumer; a verifier attached
+    // to the miscompiling options would recurse (and its reports would be
+    // noise), so it is stripped.
+    Bad.Verifier = nullptr;
+    Bad.Replication.Validator = nullptr;
+  }
+
+  ease::RunResult execute(const Program &P) const {
+    ease::RunOptions RO;
+    RO.MaxSteps = O.MaxSteps;
+    return ease::run(P, RO);
+  }
+
+  /// Observable difference under the double-clean convention: a
+  /// step-limited run on either side is inconclusive, everything else
+  /// (trap kind included - whole programs are compared at fixed inputs,
+  /// unlike the oracle's mid-pipeline fragments) must match exactly.
+  static bool differs(const ease::RunResult &A, const ease::RunResult &B) {
+    if (A.TrapKind == ease::Trap::StepLimit ||
+        B.TrapKind == ease::Trap::StepLimit)
+      return false;
+    return A.TrapKind != B.TrapKind || A.ExitCode != B.ExitCode ||
+           A.Output != B.Output;
+  }
+
+  /// Front end + legalization only: the reference translation.
+  bool reference(const std::string &Src, Program &Out) const {
+    std::string Err;
+    if (!frontend::compileToRtl(Src, Out, Err))
+      return false;
+    for (auto &F : Out.Functions) {
+      T->legalizeFunction(*F);
+      F->verify();
+    }
+    return true;
+  }
+
+  /// The source-level predicate: does \p Src still miscompile?
+  bool misbehaves(const std::string &Src) const {
+    Program Ref;
+    if (!reference(Src, Ref))
+      return false;
+    driver::Compilation C = driver::compile(Src, O.TK, O.Level, &Bad);
+    if (!C.ok())
+      return false;
+    return differs(execute(Ref), execute(*C.Prog));
+  }
+
+  /// The RTL-level predicate: does the legalized program \p Cand still
+  /// miscompile when fed to the optimizer?
+  bool misbehavesRtl(const Program &Cand) const {
+    const ease::RunResult A = execute(Cand);
+    Program OptP = cloneProgram(Cand);
+    opt::optimizeProgram(OptP, *T, Bad, nullptr);
+    return differs(A, execute(OptP));
+  }
+};
+
+/// Splits into lines, keeping content only (the terminators are re-added
+/// on join).
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t End = S.find('\n', Start);
+    if (End == std::string::npos) {
+      if (Start < S.size())
+        Lines.push_back(S.substr(Start));
+      break;
+    }
+    Lines.push_back(S.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Keep[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+/// ddmin over source lines: try dropping chunks of halving size until no
+/// single-line removal survives the predicate.
+std::string ddminLines(const Harness &H, const std::string &Src) {
+  std::vector<std::string> Lines = splitLines(Src);
+  std::vector<bool> Keep(Lines.size(), true);
+  size_t Live = Lines.size();
+  for (size_t Chunk = Live ? (Live + 1) / 2 : 0; Chunk >= 1;) {
+    bool Any = false;
+    for (size_t At = 0; At < Lines.size();) {
+      // Collect the next Chunk live lines starting at At.
+      std::vector<size_t> Idx;
+      size_t Cursor = At;
+      while (Cursor < Lines.size() && Idx.size() < Chunk) {
+        if (Keep[Cursor])
+          Idx.push_back(Cursor);
+        ++Cursor;
+      }
+      if (Idx.empty())
+        break;
+      for (size_t I : Idx)
+        Keep[I] = false;
+      if (H.misbehaves(joinLines(Lines, Keep))) {
+        Any = true;
+        Live -= Idx.size();
+      } else {
+        for (size_t I : Idx)
+          Keep[I] = true;
+      }
+      At = Cursor;
+    }
+    if (Chunk == 1 && !Any)
+      break;
+    if (!Any)
+      Chunk = Chunk / 2;
+    // On progress, retry at the same granularity: smaller programs often
+    // unlock chunks that previously failed to parse.
+  }
+  return joinLines(Lines, Keep);
+}
+
+/// True when no branch or jump table anywhere in \p F references the
+/// label of block \p Idx (so erasing the block cannot dangle a target).
+bool labelUnreferenced(const Function &F, int Idx) {
+  const int Label = F.block(Idx)->Label;
+  for (int B = 0; B < F.size(); ++B)
+    for (const rtl::Insn &I : F.block(B)->Insns) {
+      if ((I.Op == rtl::Opcode::Jump || I.Op == rtl::Opcode::CondJump) &&
+          I.Target == Label)
+        return false;
+      if (I.Op == rtl::Opcode::SwitchJump)
+        for (int L : I.Table)
+          if (L == Label)
+            return false;
+    }
+  return true;
+}
+
+/// Applies the first structural RTL mutation that survives the predicate
+/// and returns true; returns false when none does (fixpoint). Candidates
+/// are built on clones, and P is replaced wholesale on success so no
+/// reference into the old program outlives the mutation -
+/// Function::verify aborts on malformed graphs, so only mutations that
+/// are valid a priori are attempted at all.
+bool applyOneMutation(const Harness &H, Program &P) {
+  auto tryCandidate = [&](Program &&Cand) {
+    if (!H.misbehavesRtl(Cand))
+      return false;
+    P = std::move(Cand);
+    return true;
+  };
+
+  for (size_t FI = 0; FI < P.Functions.size(); ++FI) {
+    // Stub the whole non-main function to a bare return.
+    if (P.Functions[FI]->Name != "main" &&
+        (P.Functions[FI]->size() > 1 ||
+         P.Functions[FI]->block(0)->Insns.size() > 1)) {
+      Program Cand = cloneProgram(P);
+      Function &CF = *Cand.Functions[FI];
+      CF.block(0)->Insns.assign(1, rtl::Insn::ret());
+      CF.block(0)->DelaySlot.reset();
+      CF.PromotableLocals.clear(); // no body left to promote into
+      CF.noteRtlEdit();
+      while (CF.size() > 1)
+        CF.eraseBlock(1);
+      if (tryCandidate(std::move(Cand)))
+        return true;
+    }
+
+    const int NumBlocks = P.Functions[FI]->size();
+    for (int B = 0; B < NumBlocks; ++B) {
+      const BasicBlock *Blk = P.Functions[FI]->block(B);
+      const rtl::Insn *Term = Blk->terminator();
+
+      // Empty the body down to the terminator (or entirely, for a
+      // fall-through block).
+      if (Blk->Insns.size() > (Term ? 1u : 0u)) {
+        Program Cand = cloneProgram(P);
+        BasicBlock *CB = Cand.Functions[FI]->block(B);
+        if (Term)
+          CB->Insns.erase(CB->Insns.begin(), CB->Insns.end() - 1);
+        else
+          CB->Insns.clear();
+        CB->DelaySlot.reset();
+        Cand.Functions[FI]->noteRtlEdit();
+        if (tryCandidate(std::move(Cand)))
+          return true;
+      }
+
+      // Delete a conditional branch (the block then falls through).
+      if (Term && Term->Op == rtl::Opcode::CondJump && B + 1 < NumBlocks) {
+        Program Cand = cloneProgram(P);
+        Cand.Functions[FI]->block(B)->Insns.pop_back();
+        Cand.Functions[FI]->noteRtlEdit();
+        if (tryCandidate(std::move(Cand)))
+          return true;
+      }
+
+      // Collapse an indirect jump to its first arm.
+      if (Term && Term->Op == rtl::Opcode::SwitchJump &&
+          !Term->Table.empty()) {
+        Program Cand = cloneProgram(P);
+        Cand.Functions[FI]->block(B)->Insns.back() =
+            rtl::Insn::jump(Term->Table[0]);
+        Cand.Functions[FI]->noteRtlEdit();
+        if (tryCandidate(std::move(Cand)))
+          return true;
+      }
+
+      // Erase a non-final block nothing branches to (predecessors that
+      // fell into it simply fall further).
+      if (B + 1 < NumBlocks && NumBlocks > 1 &&
+          labelUnreferenced(*P.Functions[FI], B)) {
+        Program Cand = cloneProgram(P);
+        Cand.Functions[FI]->eraseBlock(B);
+        if (tryCandidate(std::move(Cand)))
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+ReduceResult verify::reduce(const std::string &Source,
+                            const ReduceOptions &O) {
+  Harness H(O);
+  ReduceResult R;
+  R.Source = Source;
+
+  if (!H.misbehaves(Source)) {
+    Program Ref;
+    if (H.reference(Source, Ref)) {
+      R.RtlDump = toString(Ref);
+      R.Blocks = blockCount(Ref);
+    }
+    R.SourceLines = static_cast<int>(splitLines(Source).size());
+    return R;
+  }
+  R.Mismatch = true;
+
+  // Stage 1: line-level ddmin.
+  R.Source = ddminLines(H, Source);
+  R.SourceLines = static_cast<int>(splitLines(R.Source).size());
+
+  // Stage 2: RTL-level shrinking of the reduced program. Each applied
+  // mutation strictly removes structure, so the guard is a backstop, not
+  // a working limit.
+  Program P;
+  if (!H.reference(R.Source, P)) // cannot happen: ddmin preserved validity
+    return R;
+  const int Guard = O.MaxRounds * 256;
+  for (int Step = 0; Step < Guard && applyOneMutation(H, P); ++Step) {
+  }
+  for (const auto &F : P.Functions)
+    F->verify();
+  R.RtlDump = toString(P);
+  R.Blocks = blockCount(P);
+  return R;
+}

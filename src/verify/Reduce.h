@@ -1,0 +1,77 @@
+//===- Reduce.h - Delta-debugging reducer for miscompiles -------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a miscompiling MiniC program while the miscompile persists.
+/// The interesting-ness predicate compiles the candidate twice - a
+/// reference translation (front end + target legalization, no optimizer)
+/// and the full pipeline under the caller's options - runs both under
+/// ease::Interp, and keeps the candidate when their observables differ.
+///
+/// Two stages:
+///  1. ddmin over source lines: chunks of shrinking size are removed while
+///     the predicate holds (syntactically broken candidates simply fail
+///     the front end and are rejected by the predicate).
+///  2. RTL-level shrinking of the reduced program: block bodies emptied to
+///     their terminators, conditional branches deleted, switches
+///     collapsed to their first arm, unreferenced blocks erased, and
+///     non-main functions stubbed to a bare return - greedily, to a
+///     fixpoint. Every mutation is structurally valid by construction
+///     (Function::verify aborts the process, so try-and-catch is not an
+///     option).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_VERIFY_REDUCE_H
+#define CODEREP_VERIFY_REDUCE_H
+
+#include "opt/Pipeline.h"
+#include "target/Target.h"
+
+#include <cstdint>
+#include <string>
+
+namespace coderep::verify {
+
+/// Reducer configuration.
+struct ReduceOptions {
+  target::TargetKind TK = target::TargetKind::M68;
+  opt::OptLevel Level = opt::OptLevel::Jumps;
+
+  /// The pipeline configuration that miscompiles (e.g. MutateForTesting,
+  /// or a specific Jobs/replication setting). Level is overridden by
+  /// \c Level above; any Verifier is stripped before use.
+  opt::PipelineOptions Pipeline;
+
+  /// Greedy RTL-stage sweeps (each sweep retries every mutation site).
+  int MaxRounds = 8;
+
+  /// Step budget per interpreter run; step-limited runs make a candidate
+  /// uninteresting rather than interesting (never reduce into a hang).
+  uint64_t MaxSteps = 1u << 22;
+};
+
+/// Outcome of a reduction.
+struct ReduceResult {
+  /// False when the original input never triggered a mismatch (nothing to
+  /// reduce; the other fields then describe the unreduced input).
+  bool Mismatch = false;
+
+  std::string Source;  ///< minimal miscompiling MiniC source
+  std::string RtlDump; ///< the reduced program's RTL (post-legalize)
+  int SourceLines = 0; ///< lines in Source
+  int Blocks = 0;      ///< basic blocks in the reduced RTL program
+};
+
+/// Reduces \p Source. The input should already be known to miscompile
+/// under \p O (use the oracle or a differential run to establish that);
+/// if it does not, the result has Mismatch == false.
+ReduceResult reduce(const std::string &Source, const ReduceOptions &O);
+
+} // namespace coderep::verify
+
+#endif // CODEREP_VERIFY_REDUCE_H

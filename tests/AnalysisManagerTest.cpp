@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "verify/RandomProgram.h"
 #include "Suite.h"
 #include "cfg/AnalysisCache.h"
 #include "cfg/FunctionPrinter.h"
@@ -351,7 +351,7 @@ TEST(AnalysisManagerDiff, CachedVsAlwaysRecomputeByteIdenticalAcrossSuite) {
 
 TEST(AnalysisManagerDiff, CachedVsAlwaysRecomputeOnRandomPrograms) {
   for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
-    std::string Source = tests::randomProgram(Seed);
+    std::string Source = verify::randomProgram(Seed);
     target::TargetKind TK =
         Seed % 2 ? target::TargetKind::Sparc : target::TargetKind::M68;
     OptLevel Level = AllLevels[Seed % 3];

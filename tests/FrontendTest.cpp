@@ -326,6 +326,27 @@ TEST(Semantics, SwitchFallthroughAndSparse) {
             10 + 10 + 20 + 31 + 1);
 }
 
+TEST(Semantics, SwitchStatementsBeforeFirstCaseAreUnreachable) {
+  // Statements before the first case label are dead code but legal; the
+  // dispatch block is already terminated, so they must open a new block
+  // (a bare break there once put a jump mid-block and aborted codegen).
+  EXPECT_EQ(runExit(R"(
+    int f(int x) {
+      switch (x & 7) {
+        x = 99;
+        break;
+      default:
+        x = x + 1;
+      case 2:
+        x = x + 10;
+      }
+      return x;
+    }
+    int main() { return f(0) + f(2); }
+  )"),
+            (0 + 1 + 10) + (2 + 10));
+}
+
 TEST(Semantics, BreakContinueNested) {
   EXPECT_EQ(runExit(R"(
     int main() {

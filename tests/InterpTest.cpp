@@ -94,6 +94,103 @@ TEST(Interp, DivisionByZeroTraps) {
   EXPECT_EQ(R.TrapKind, Trap::DivByZero);
 }
 
+TEST(Interp, SignedDivisionOverflowTraps) {
+  // INT32_MIN / -1 (and the matching Rem) is host UB; the interpreted
+  // machine defines it as a trap so differential runs can compare it.
+  for (Opcode Op : {Opcode::Div, Opcode::Rem}) {
+    Program P = makeProgram({
+        Insn::move(vr(0), Operand::imm(INT32_MIN)),
+        Insn::binary(Op, vr(0), vr(0), Operand::imm(-1)),
+    });
+    RunOptions RO;
+    RunResult R = run(P, RO);
+    EXPECT_EQ(R.TrapKind, Trap::Overflow);
+  }
+}
+
+TEST(Interp, EntryModeRunsOneFunctionOnArgs) {
+  // Function-entry mode (the oracle's probe harness): start at a function
+  // that is not main, with arguments at [SP + 4*i] per the stack
+  // convention, and surface its return value as the exit code.
+  Program P;
+  auto F = std::make_unique<Function>("f");
+  for (int I = 0; I < 4; ++I)
+    F->freshVReg();
+  BasicBlock *B = F->appendBlock();
+  B->Insns.push_back(Insn::move(Operand::reg(RegFP), Operand::reg(RegSP)));
+  B->Insns.push_back(Insn::move(vr(0), Operand::mem(RegSP, 0, 4)));
+  B->Insns.push_back(Insn::move(vr(1), Operand::mem(RegSP, 4, 4)));
+  B->Insns.push_back(Insn::binary(Opcode::Sub, vr(0), vr(0), vr(1)));
+  B->Insns.push_back(Insn::move(Operand::reg(RegRV), vr(0)));
+  B->Insns.push_back(Insn::ret());
+  P.Functions.push_back(std::move(F));
+  RunOptions RO;
+  RO.EntryFunction = 0;
+  RO.EntryArgs = {9, 4};
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(Interp, StubbedCallsAreRecordedAndDeterministic) {
+  // StubCalls treats measured calls as uninterpreted observables: the
+  // callee need not even exist, its arguments are captured from the
+  // stack, and its return value is synthesized from the stub seed.
+  auto runOnce = [](uint64_t StubSeed) {
+    Program P = makeProgram({
+        Insn::move(Operand::mem(RegSP, 0, 4), Operand::imm(11)),
+        Insn::move(Operand::mem(RegSP, 4, 4), Operand::imm(22)),
+        Insn::call(1),
+    });
+    RunOptions RO;
+    RO.StubCalls = true;
+    RO.StubSeed = StubSeed;
+    RunResult R = run(P, RO);
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    return R;
+  };
+  RunResult A = runOnce(7);
+  ASSERT_EQ(A.CallEvents.size(), 1u);
+  EXPECT_EQ(A.CallEvents[0].Callee, 1);
+  EXPECT_EQ(A.CallEvents[0].Args[0], 11);
+  EXPECT_EQ(A.CallEvents[0].Args[1], 22);
+  // The synthesized return value flows back through RegRV into the exit
+  // code and is a pure function of (seed, event index, callee).
+  EXPECT_EQ(A.ExitCode, A.CallEvents[0].Rv);
+  RunResult B = runOnce(7);
+  EXPECT_EQ(A.CallEvents, B.CallEvents);
+}
+
+TEST(Interp, MemImageSeedsGlobalsButInitializersWin) {
+  Program P = makeProgram({
+      Insn::move(vr(0), Operand::mem(-1, 0, 4, -1, 1, 0)), // g0 (no init)
+      Insn::move(vr(1), Operand::mem(-1, 0, 4, -1, 1, 1)), // g1 (init 5)
+      Insn::binary(Opcode::Add, vr(0), vr(0), vr(1)),
+      Insn::move(Operand::reg(RegRV), vr(0)),
+  });
+  Global G0;
+  G0.Name = "g0";
+  G0.Size = 4;
+  P.Globals.push_back(G0);
+  Global G1;
+  G1.Name = "g1";
+  G1.Size = 4;
+  G1.Init = {5, 0, 0, 0};
+  P.Globals.push_back(G1);
+  std::vector<uint8_t> Image(8, 0);
+  Image[0] = 3; // overlays g0's first byte
+  Image[4] = 9; // overlaid in turn by g1's initializer
+  RunOptions RO;
+  RO.MemImage = &Image;
+  RO.CaptureGlobals = true;
+  RunResult R = run(P, RO);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 8);
+  ASSERT_GE(R.GlobalsMem.size(), 8u);
+  EXPECT_EQ(R.GlobalsMem[0], 3u);
+  EXPECT_EQ(R.GlobalsMem[4], 5u);
+}
+
 TEST(Interp, ByteLoadsSignExtend) {
   // Store 0x80 as a byte below SP, load it back: -128.
   EXPECT_EQ(evalProgram({

@@ -24,7 +24,7 @@
 #include "frontend/CodeGen.h"
 #include "obs/Trace.h"
 #include "opt/Pipeline.h"
-#include "RandomProgram.h"
+#include "verify/RandomProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -146,7 +146,7 @@ TEST(ParallelPipeline, StatsMergeIsElementWise) {
 // account for exactly the oracle's executed pass bodies.
 TEST(ParallelPipeline, SchedulerMatchesRerunEverythingOracle) {
   for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
-    std::string Source = tests::randomProgram(Seed);
+    std::string Source = verify::randomProgram(Seed);
     target::TargetKind TK =
         Seed % 2 ? target::TargetKind::Sparc : target::TargetKind::M68;
 

@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "verify/RandomProgram.h"
 
 #include "cfg/CfgAnalysis.h"
 #include "cfg/FunctionPrinter.h"
@@ -43,7 +43,7 @@ Reference runReference(const std::string &Source) {
 class RandomDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomDifferentialTest, AllConfigsAgree) {
-  std::string Source = tests::randomProgram(GetParam());
+  std::string Source = verify::randomProgram(GetParam());
   Reference Ref = runReference(Source);
   if (::testing::Test::HasFailure())
     return;

@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "RandomProgram.h"
+#include "verify/RandomProgram.h"
 
 #include "cfg/Function.h"
 #include "frontend/CodeGen.h"
@@ -55,7 +55,7 @@ TEST(ShortestPaths, LazyMatchesDenseOracleOnRandomCfgs) {
     SCOPED_TRACE("seed " + std::to_string(Seed));
     Program P;
     std::string Err;
-    ASSERT_TRUE(frontend::compileToRtl(tests::randomProgram(Seed), P, Err))
+    ASSERT_TRUE(frontend::compileToRtl(verify::randomProgram(Seed), P, Err))
         << Err;
     auto T = target::createTarget(Seed % 2 ? target::TargetKind::M68
                                            : target::TargetKind::Sparc);
