@@ -69,6 +69,11 @@ struct ConfigTotals {
   int64_t AnalysisHits = 0;
   int64_t AnalysisRecomputes = 0;
   int64_t LivenessRecomputes = 0;
+  int64_t FixpointUs[opt::NumPhases] = {};
+  int64_t PhaseUs[opt::NumPhases] = {};
+  int64_t ArenaInsns = 0;
+  int64_t ArenaPoolBytes = 0;
+  int64_t ArenaPeakRefs = 0;
 };
 
 /// Result of the fastest of several repeated compiles.
@@ -80,6 +85,15 @@ struct OneCompile {
   int64_t AnalysisHits = 0;
   int64_t AnalysisRecomputes = 0;
   int64_t LivenessRecomputes = 0;
+  /// Per-phase microseconds accrued inside the fixpoint loop (fastest rep).
+  int64_t FixpointUs[opt::NumPhases] = {};
+  /// Per-phase microseconds over the whole pipeline (fastest rep).
+  int64_t PhaseUs[opt::NumPhases] = {};
+  /// RTL arena footprint of the compiled program (live insns, label-pool
+  /// bytes, peak refs ever allocated), summed over functions.
+  int64_t ArenaInsns = 0;
+  int64_t ArenaPoolBytes = 0;
+  int64_t ArenaPeakRefs = 0;
 };
 
 const char *targetName(target::TargetKind TK) {
@@ -131,6 +145,16 @@ OneCompile timedCompile(const BenchProgram &BP, target::TargetKind TK,
       Best.LivenessRecomputes =
           C.Pipeline.Analysis
               .Recomputes[static_cast<int>(opt::AnalysisID::Liveness)];
+      for (int P = 0; P < opt::NumPhases; ++P) {
+        Best.FixpointUs[P] = C.Pipeline.FixpointPhaseMicros[P];
+        Best.PhaseUs[P] = C.Pipeline.PhaseMicros[P];
+      }
+      Best.ArenaInsns = Best.ArenaPoolBytes = Best.ArenaPeakRefs = 0;
+      for (const auto &Fn : C.Prog->Functions) {
+        Best.ArenaInsns += Fn->arena().liveInsns();
+        Best.ArenaPoolBytes += static_cast<int64_t>(Fn->arena().poolBytes());
+        Best.ArenaPeakRefs += Fn->arena().peakRefs();
+      }
     }
   }
   return Best;
@@ -140,6 +164,24 @@ OneCompile timedCompile(const BenchProgram &BP, target::TargetKind TK,
 struct TaskResult {
   OneCompile Baseline, Optimized, Simple, Loops;
 };
+
+/// Fails the run when an "optimized" compile is slower than the
+/// paper-literal baseline on the same program beyond measurement noise.
+/// Every layered speedup (caching, scheduling, arena) is supposed to be
+/// monotone per program, not just in aggregate; a real inversion is a bug
+/// (an earlier BENCH_compile.json shipped one for sort/m68). The 25%
+/// tolerance absorbs timer jitter on sub-millisecond compiles.
+bool checkNoRegression(const char *Prog, const char *Target,
+                       const OneCompile &B, const OneCompile &O) {
+  if (O.Us <= B.Us + B.Us / 4)
+    return true;
+  std::fprintf(stderr,
+               "REGRESSION: %s/%s optimized %lld us exceeds baseline %lld "
+               "us by more than 25%%\n",
+               Prog, Target, static_cast<long long>(O.Us),
+               static_cast<long long>(B.Us));
+  return false;
+}
 
 /// Best-effort "git rev-parse --short HEAD"; "unknown" outside a checkout.
 std::string gitSha() {
@@ -257,6 +299,7 @@ int main(int argc, char **argv) {
   // Deterministic reduce, in task order.
   ConfigTotals BaselineTotals, OptimizedTotals;
   int64_t SimpleUs = 0, LoopsUs = 0;
+  bool AllMonotone = true;
   std::string ProgramsJson;
   for (size_t I = 0; I < Tasks.size(); ++I) {
     const auto &[TK, BP] = Tasks[I];
@@ -279,6 +322,14 @@ int main(int argc, char **argv) {
     OptimizedTotals.LivenessRecomputes += O.LivenessRecomputes;
     SimpleUs += Results[I].Simple.Us;
     LoopsUs += Results[I].Loops.Us;
+    for (int P = 0; P < opt::NumPhases; ++P) {
+      OptimizedTotals.FixpointUs[P] += O.FixpointUs[P];
+      OptimizedTotals.PhaseUs[P] += O.PhaseUs[P];
+    }
+    OptimizedTotals.ArenaInsns += O.ArenaInsns;
+    OptimizedTotals.ArenaPoolBytes += O.ArenaPoolBytes;
+    OptimizedTotals.ArenaPeakRefs += O.ArenaPeakRefs;
+    AllMonotone &= checkNoRegression(BP->Name.c_str(), targetName(TK), B, O);
 
     char Row[512];
     std::snprintf(
@@ -440,6 +491,27 @@ int main(int argc, char **argv) {
                static_cast<long long>(VerifyCounters.Checks));
   std::fprintf(F, "  \"verify_mismatches\": %lld,\n",
                static_cast<long long>(VerifyCounters.Mismatches));
+  {
+    std::string Fx;
+    for (int P = 0; P < opt::NumPhases; ++P) {
+      if (!OptimizedTotals.FixpointUs[P])
+        continue;
+      char Item[96];
+      std::snprintf(Item, sizeof(Item), "\"%s\": %lld",
+                    opt::phaseName(static_cast<opt::Phase>(P)),
+                    static_cast<long long>(OptimizedTotals.FixpointUs[P]));
+      if (!Fx.empty())
+        Fx += ", ";
+      Fx += Item;
+    }
+    std::fprintf(F, "  \"fixpoint_us_optimized\": {%s},\n", Fx.c_str());
+  }
+  std::fprintf(F, "  \"arena_insns\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.ArenaInsns));
+  std::fprintf(F, "  \"arena_pool_bytes\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.ArenaPoolBytes));
+  std::fprintf(F, "  \"arena_peak_refs\": %lld,\n",
+               static_cast<long long>(OptimizedTotals.ArenaPeakRefs));
   std::fprintf(F, "  \"programs\": [\n%s\n  ]\n", ProgramsJson.c_str());
   std::fprintf(F, "}\n");
   std::fclose(F);
@@ -461,7 +533,9 @@ int main(int argc, char **argv) {
           "\"liveness_recomputes_optimized\": %lld, "
           "\"verify_off_total_us\": %lld, "
           "\"verify_final_total_us\": %lld, "
-          "\"verify_final_overhead\": %.3f}\n",
+          "\"verify_final_overhead\": %.3f, "
+          "\"arena_insns\": %lld, \"arena_pool_bytes\": %lld, "
+          "\"arena_peak_refs\": %lld}\n",
           isoUtcNow().c_str(), gitSha().c_str(), Jobs, Reps,
           static_cast<long long>(EndToEndUs),
           static_cast<long long>(BaselineTotals.TotalUs),
@@ -473,7 +547,10 @@ int main(int argc, char **argv) {
           static_cast<long long>(BaselineTotals.LivenessRecomputes),
           static_cast<long long>(OptimizedTotals.LivenessRecomputes),
           static_cast<long long>(VerifyOffUs),
-          static_cast<long long>(VerifyFinalUs), VerifyOverhead);
+          static_cast<long long>(VerifyFinalUs), VerifyOverhead,
+          static_cast<long long>(OptimizedTotals.ArenaInsns),
+          static_cast<long long>(OptimizedTotals.ArenaPoolBytes),
+          static_cast<long long>(OptimizedTotals.ArenaPeakRefs));
       std::fclose(H);
       std::printf("appended run record to %s\n", HistoryPath.c_str());
     } else {
@@ -489,6 +566,33 @@ int main(int argc, char **argv) {
               static_cast<long long>(BaselineTotals.AnalysisRecomputes),
               static_cast<long long>(BaselineTotals.LivenessRecomputes),
               static_cast<long long>(OptimizedTotals.LivenessRecomputes));
+  {
+    int64_t FxTotal = 0;
+    for (int P = 0; P < opt::NumPhases; ++P)
+      FxTotal += OptimizedTotals.FixpointUs[P];
+    std::printf("\nfixpoint loop (optimized): %lld us total;", 
+                static_cast<long long>(FxTotal));
+    for (int P = 0; P < opt::NumPhases; ++P)
+      if (OptimizedTotals.FixpointUs[P])
+        std::printf(" %s %lld", opt::phaseName(static_cast<opt::Phase>(P)),
+                    static_cast<long long>(OptimizedTotals.FixpointUs[P]));
+    std::printf("\n");
+    int64_t PhTotal = 0;
+    for (int P = 0; P < opt::NumPhases; ++P)
+      PhTotal += OptimizedTotals.PhaseUs[P];
+    std::printf("phase totals (optimized): %lld us;",
+                static_cast<long long>(PhTotal));
+    for (int P = 0; P < opt::NumPhases; ++P)
+      if (OptimizedTotals.PhaseUs[P])
+        std::printf(" %s %lld", opt::phaseName(static_cast<opt::Phase>(P)),
+                    static_cast<long long>(OptimizedTotals.PhaseUs[P]));
+    std::printf("\n");
+    std::printf("arena (optimized): %lld live insns, %lld pool bytes, "
+                "%lld peak refs\n",
+                static_cast<long long>(OptimizedTotals.ArenaInsns),
+                static_cast<long long>(OptimizedTotals.ArenaPoolBytes),
+                static_cast<long long>(OptimizedTotals.ArenaPeakRefs));
+  }
   std::printf("\ntotal JUMPS compile: baseline %lld us, optimized %lld us, "
               "speedup %.2fx (end-to-end %lld us with %u jobs)\n",
               static_cast<long long>(BaselineTotals.TotalUs),
@@ -499,6 +603,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "warning: speedup %.2fx below the 2x acceptance target\n",
                  Speedup);
+  }
+  if (!AllMonotone) {
+    std::fprintf(stderr, "error: per-program regression check failed\n");
+    return 1;
   }
   return Obs.finish() ? 0 : 1;
 }

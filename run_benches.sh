@@ -59,6 +59,13 @@ else:
     ratio = cur.get("verify_final_overhead")
     if ratio:
         print(f"  oracle overhead (verify=final vs off): {ratio:.2f}x")
+    if cur.get("arena_peak_refs"):
+        print(f"  arena: {cur['arena_insns']} live insns, "
+              f"{cur['arena_peak_refs']} peak refs, "
+              f"{cur['arena_pool_bytes']} label-pool bytes "
+              f"(prev: {prev.get('arena_insns', '?')} / "
+              f"{prev.get('arena_peak_refs', '?')} / "
+              f"{prev.get('arena_pool_bytes', '?')})")
 EOF
   echo
 fi

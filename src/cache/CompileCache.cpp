@@ -214,7 +214,7 @@ void serializeEntry(std::ostream &Out, const PipelineCache::Entry &E) {
     const cfg::BasicBlock *B = F.block(I);
     Out << "block " << B->Label << " " << B->Insns.size() << " "
         << (B->DelaySlot ? 1 : 0) << "\n";
-    for (const rtl::Insn &Insn : B->Insns)
+    for (auto Insn : B->Insns)
       writeInsn(Out, "i", Insn);
     if (B->DelaySlot)
       writeInsn(Out, "slot", *B->DelaySlot);
@@ -292,10 +292,12 @@ std::unique_ptr<PipelineCache::Entry> deserializeEntry(std::istream &In) {
         Label < 0 || Label >= LabelLimit || NInsns > 10000000)
       return nullptr;
     cfg::BasicBlock *B = F.appendBlockWithLabel(Label);
-    B->Insns.resize(NInsns);
-    for (size_t J = 0; J < NInsns; ++J)
-      if (!readInsn(In, "i", B->Insns[J]))
+    for (size_t J = 0; J < NInsns; ++J) {
+      rtl::Insn I;
+      if (!readInsn(In, "i", I))
         return nullptr;
+      B->Insns.push_back(std::move(I));
+    }
     if (HasSlot) {
       rtl::Insn Slot;
       if (!readInsn(In, "slot", Slot))

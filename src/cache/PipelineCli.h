@@ -20,6 +20,10 @@
 ///   --no-analysis-cache   recompute every CFG/dataflow analysis at every
 ///                         query instead of serving it from the per-function
 ///                         AnalysisManager (the always-recompute oracle)
+///   --no-fused-sweep      schedule local CSE, dead variable elimination,
+///                         branch chaining and constant folding as four
+///                         individual fixpoint slots instead of the fused
+///                         sweep (the fusion byte-identity oracle)
 ///
 /// Usage mirrors TraceCli: call consume() on each argv entry (true = it was
 /// one of these flags), then apply() on the PipelineOptions the binary is
@@ -70,6 +74,10 @@ public:
       CacheAnalyses = false;
       return true;
     }
+    if (Arg == "--no-fused-sweep") {
+      FusedSweep = false;
+      return true;
+    }
     return false;
   }
 
@@ -78,6 +86,7 @@ public:
   void apply(opt::PipelineOptions &Options) {
     Options.Jobs = Jobs;
     Options.CacheAnalyses = CacheAnalyses;
+    Options.FusedLocalSweep = FusedSweep;
     if (WantCache && !Cache)
       Cache = std::make_unique<PipelineCache>(CacheDir);
     Options.FunctionCache = Cache.get();
@@ -92,12 +101,14 @@ public:
 
   /// One usage line describing the flags, for --help texts.
   static const char *usage() {
-    return "[--jobs=N] [--pipeline-cache[=DIR]] [--no-analysis-cache]";
+    return "[--jobs=N] [--pipeline-cache[=DIR]] [--no-analysis-cache] "
+           "[--no-fused-sweep]";
   }
 
 private:
   int Jobs = 0; ///< 0 = hardware concurrency
   bool CacheAnalyses = true;
+  bool FusedSweep = true;
   bool WantCache = false;
   std::string CacheDir;
   std::unique_ptr<PipelineCache> Cache;

@@ -13,12 +13,17 @@
 /// block positionally following the unconditional jump", JUMPS step 2), so
 /// the representation keeps it explicit.
 ///
+/// A block does not own instruction storage: its Insns sequence is a list
+/// of InsnRefs into the owning Function's InsnArena (see rtl/InsnArena.h),
+/// so replication splices move 32-bit refs instead of 100+-byte structs and
+/// never invalidate references held elsewhere.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CODEREP_CFG_BASICBLOCK_H
 #define CODEREP_CFG_BASICBLOCK_H
 
-#include "rtl/Insn.h"
+#include "rtl/InsnArena.h"
 
 #include <optional>
 #include <vector>
@@ -28,7 +33,7 @@ namespace coderep::cfg {
 /// A maximal straight-line sequence of RTLs with a unique label.
 class BasicBlock {
 public:
-  explicit BasicBlock(int Label) : Label(Label) {}
+  BasicBlock(int Label, rtl::InsnArena &Arena) : Label(Label), Insns(Arena) {}
 
   /// Unique label id within the function; branches name blocks by label so
   /// that blocks can be reordered and replicated without rewriting every
@@ -36,35 +41,35 @@ public:
   int Label;
 
   /// The RTLs of the block. At most the last one is a control transfer.
-  std::vector<rtl::Insn> Insns;
+  rtl::InsnSeq Insns;
 
   /// On delay-slot targets (SPARC), the RTL architecturally executed after
   /// the terminating transfer. Filled by the delay-slot pass; Nop when no
   /// independent RTL was available.
   std::optional<rtl::Insn> DelaySlot;
 
-  /// Returns the terminating transfer RTL, or nullptr if the block falls
-  /// through unconditionally.
-  rtl::Insn *terminator() {
+  /// Returns a view of the terminating transfer RTL, or an empty optional
+  /// if the block falls through unconditionally.
+  std::optional<rtl::InsnView> terminator() {
     if (Insns.empty() || !Insns.back().isTransfer())
-      return nullptr;
-    return &Insns.back();
+      return std::nullopt;
+    return Insns.back();
   }
-  const rtl::Insn *terminator() const {
-    return const_cast<BasicBlock *>(this)->terminator();
+  std::optional<rtl::ConstInsnView> terminator() const {
+    if (Insns.empty() || !Insns.back().isTransfer())
+      return std::nullopt;
+    return Insns.back();
   }
 
   /// True if control can leave this block only through its terminator.
   bool endsWithUnconditionalTransfer() const {
-    const rtl::Insn *T = terminator();
-    return T && T->isUnconditionalTransfer();
+    return !Insns.empty() && Insns.back().isUnconditionalTransfer();
   }
 
   /// True if the block's terminator is a plain unconditional jump - the
   /// instruction the replication pass exists to remove.
   bool endsWithJump() const {
-    const rtl::Insn *T = terminator();
-    return T && T->Op == rtl::Opcode::Jump;
+    return !Insns.empty() && Insns.back().Op == rtl::Opcode::Jump;
   }
 
   /// Number of RTLs, the unit in which the paper measures path lengths and

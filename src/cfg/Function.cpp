@@ -13,7 +13,7 @@ BasicBlock *Function::appendBlock() {
 
 BasicBlock *Function::appendBlockWithLabel(int Label) {
   CODEREP_CHECK(Label >= 0 && Label < NextLabel, "label was not allocated");
-  Blocks.push_back(std::make_unique<BasicBlock>(Label));
+  Blocks.push_back(std::make_unique<BasicBlock>(Label, *Arena));
   invalidateLabelCache();
   return Blocks.back().get();
 }
@@ -21,7 +21,7 @@ BasicBlock *Function::appendBlockWithLabel(int Label) {
 BasicBlock *Function::insertBlock(int Index) {
   CODEREP_CHECK(Index >= 0 && Index <= size(), "insert position out of range");
   Blocks.insert(Blocks.begin() + Index,
-                std::make_unique<BasicBlock>(freshLabel()));
+                std::make_unique<BasicBlock>(freshLabel(), *Arena));
   invalidateLabelCache();
   return Blocks[Index].get();
 }
@@ -40,13 +40,14 @@ void Function::eraseBlock(int Index) {
 
 int Function::indexOfLabel(int Label) const {
   if (!LabelCacheValid) {
-    LabelCache.clear();
+    LabelCache.assign(static_cast<size_t>(NextLabel), -1);
     for (int I = 0; I < size(); ++I)
-      LabelCache[Blocks[I]->Label] = I;
+      LabelCache[static_cast<size_t>(Blocks[I]->Label)] = I;
     LabelCacheValid = true;
   }
-  auto It = LabelCache.find(Label);
-  return It == LabelCache.end() ? -1 : It->second;
+  if (Label < 0 || Label >= static_cast<int>(LabelCache.size()))
+    return -1;
+  return LabelCache[static_cast<size_t>(Label)];
 }
 
 std::vector<int> Function::successors(int Index) const {
@@ -71,23 +72,28 @@ int Function::rtlCount() const {
 }
 
 void Function::normalizeFallthroughs() {
+  bool Changed = false;
   for (int I = 0; I < size(); ++I) {
     BasicBlock *B = block(I);
     // Delete a jump to the positionally next block.
     if (B->endsWithJump() && I + 1 < size() &&
         B->Insns.back().Target == block(I + 1)->Label) {
       B->Insns.pop_back();
+      Changed = true;
       continue;
     }
     // A block that falls through must be followed by its successor; the
     // last block must not fall through at all.
-    if (!B->endsWithUnconditionalTransfer() && B->terminator() == nullptr) {
+    if (!B->endsWithUnconditionalTransfer() && !B->terminator()) {
       // Plain fall-through block: fine unless it is last.
       if (I + 1 == size())
         CODEREP_UNREACHABLE("function falls off the end");
     }
   }
-  invalidateLabelCache();
+  // A pure audit pass (nothing deleted) leaves the bytes untouched, so
+  // cached analyses stay valid: no epoch bump, no cache invalidation.
+  if (Changed)
+    invalidateLabelCache();
 }
 
 std::unique_ptr<Function> Function::clone() const {
@@ -97,9 +103,12 @@ std::unique_ptr<Function> Function::clone() const {
   F->PromotableLocals = PromotableLocals;
   F->NextLabel = NextLabel;
   F->NextVReg = NextVReg;
+  // One wholesale arena copy gives the clone identical slot numbering, so
+  // every block's ref list transfers verbatim - no per-instruction work.
+  F->Arena = std::make_unique<rtl::InsnArena>(*Arena);
   for (const auto &B : Blocks) {
-    auto NB = std::make_unique<BasicBlock>(B->Label);
-    NB->Insns = B->Insns;
+    auto NB = std::make_unique<BasicBlock>(B->Label, *F->Arena);
+    NB->Insns.setRefs(B->Insns.refs());
     NB->DelaySlot = B->DelaySlot;
     F->Blocks.push_back(std::move(NB));
   }
@@ -107,7 +116,10 @@ std::unique_ptr<Function> Function::clone() const {
 }
 
 void Function::adoptBlocksFrom(Function &Other) {
+  // The old blocks release their refs into the old arena before it dies.
+  Blocks.clear();
   Blocks = std::move(Other.Blocks);
+  Arena = std::move(Other.Arena);
   NextLabel = Other.NextLabel;
   NextVReg = Other.NextVReg;
   invalidateLabelCache();
@@ -117,11 +129,9 @@ void Function::verify() const {
   CODEREP_CHECK(size() > 0, "function has no blocks");
   for (int I = 0; I < size(); ++I) {
     const BasicBlock *B = block(I);
-    for (size_t J = 0; J < B->Insns.size(); ++J) {
-      const rtl::Insn &Insn = B->Insns[J];
-      if (J + 1 != B->Insns.size())
-        CODEREP_CHECK(!Insn.isTransfer(), "transfer in the middle of a block");
-    }
+    for (size_t J = 0; J + 1 < B->Insns.size(); ++J)
+      CODEREP_CHECK(!B->Insns[J].isTransfer(),
+                    "transfer in the middle of a block");
     // forEachSuccessor checks target resolvability and fall-through
     // legality as it walks.
     forEachSuccessor(I, [](int) {});

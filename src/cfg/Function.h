@@ -22,7 +22,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace coderep::cfg {
@@ -30,7 +29,14 @@ namespace coderep::cfg {
 /// A compiled function.
 class Function {
 public:
-  explicit Function(std::string Name) : Name(std::move(Name)) {}
+  explicit Function(std::string Name)
+      : Name(std::move(Name)), Arena(std::make_unique<rtl::InsnArena>()) {}
+
+  /// The struct-of-arrays instruction store every block of this function
+  /// allocates from. Owned behind a pointer so block sequences can hold a
+  /// stable arena address across Function moves.
+  rtl::InsnArena &arena() { return *Arena; }
+  const rtl::InsnArena &arena() const { return *Arena; }
 
   std::string Name;
   int FrameBytes = 0; ///< bytes of locals below the frame pointer
@@ -114,6 +120,13 @@ public:
   /// further analysis query, or cached analyses go stale.
   void noteRtlEdit() { ++AnalysisEpoch; }
 
+  /// Declares that block labels were remapped in place (payloads moved
+  /// between positions, as block reordering does): drops the label cache
+  /// and bumps both counters. normalizeFallthroughs() no longer bumps
+  /// unconditionally, so a transformation that remaps labels must call
+  /// this itself rather than ride on the normalize call.
+  void noteBlockRemap() { invalidateLabelCache(); }
+
   /// Rolls the analysis epoch back to \p Epoch, a value previously read
   /// from analysisEpoch(). Only valid when the function bytes have been
   /// restored to exactly the state they had at that reading (the JUMPS
@@ -151,6 +164,9 @@ public:
   void verify() const;
 
 private:
+  // Declared before Blocks: block sequences return their InsnRefs to the
+  // arena on destruction, so the arena must be destroyed last.
+  std::unique_ptr<rtl::InsnArena> Arena;
   std::vector<std::unique_ptr<BasicBlock>> Blocks;
   int NextLabel = 0;
   int NextVReg = rtl::FirstVirtual;
@@ -158,7 +174,11 @@ private:
   uint64_t Version = 0;
   uint64_t AnalysisEpoch = 0;
 
-  mutable std::unordered_map<int, int> LabelCache;
+  /// Label id -> positional index (-1 when the label names no block),
+  /// rebuilt lazily after every block-list mutation. Labels are dense
+  /// (freshLabel() counts up from 0), so a flat vector beats the old
+  /// unordered_map on the replication passes' hottest lookup path.
+  mutable std::vector<int> LabelCache;
   mutable bool LabelCacheValid = false;
   void invalidateLabelCache() {
     LabelCacheValid = false;
@@ -170,7 +190,7 @@ private:
 template <typename Fn>
 void Function::forEachSuccessor(int Index, Fn &&Visit) const {
   const BasicBlock *B = block(Index);
-  const rtl::Insn *T = B->terminator();
+  auto T = B->terminator();
   auto visitLabel = [&](int Label) {
     int Idx = indexOfLabel(Label);
     CODEREP_CHECK(Idx >= 0, "branch to unknown label");

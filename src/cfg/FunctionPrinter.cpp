@@ -13,7 +13,7 @@ std::string cfg::toString(const Function &F) {
   for (int I = 0; I < F.size(); ++I) {
     const BasicBlock *B = F.block(I);
     Out += format("L%d:\n", B->Label);
-    for (const rtl::Insn &Insn : B->Insns)
+    for (auto Insn : B->Insns)
       Out += "    " + rtl::toString(Insn) + "\n";
     if (B->DelaySlot)
       Out += "    [slot] " + rtl::toString(*B->DelaySlot) + "\n";
@@ -40,7 +40,7 @@ std::string cfg::toDot(const Function &F, const std::string &Title) {
   }
   for (int I = 0; I < F.size(); ++I) {
     const BasicBlock *B = F.block(I);
-    const rtl::Insn *T = B->terminator();
+    auto T = B->terminator();
     // Fall-through edge (plain fall-through or a conditional's false side)
     // is dashed; explicit branch targets are solid.
     bool FallsThrough = !T || T->Op == rtl::Opcode::CondJump;

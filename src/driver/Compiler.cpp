@@ -38,7 +38,7 @@ StaticStats driver::staticStats(const Program &P) {
           break;
         }
       };
-      for (const Insn &I : Block->Insns)
+      for (auto I : Block->Insns)
         count(I);
       if (Block->DelaySlot)
         count(*Block->DelaySlot);

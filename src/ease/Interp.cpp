@@ -556,7 +556,7 @@ void Machine::exec() {
       InsnIdx = 0;
       continue;
     }
-    const Insn &I = B.Insns[InsnIdx];
+    auto I = B.Insns[InsnIdx];
     if (Options.Sink)
       Options.Sink->fetch(Layout.insnAddr(Func, Block, InsnIdx));
     ++Result.Stats.Executed;

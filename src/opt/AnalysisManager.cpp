@@ -115,6 +115,11 @@ const Liveness &AnalysisManager::liveness() {
   return *Live;
 }
 
+std::shared_ptr<const Liveness> AnalysisManager::livenessShared() {
+  liveness();
+  return Live;
+}
+
 void AnalysisManager::commit(uint64_t BeforeEpoch,
                              const PreservedAnalyses &PA) {
   checkThread();

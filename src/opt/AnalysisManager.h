@@ -167,6 +167,7 @@ public:
   const cfg::Dominators &dominators();
   const cfg::LoopInfo &loops();
   const Liveness &liveness();
+  std::shared_ptr<const Liveness> livenessShared();
   std::shared_ptr<const cfg::Dominators> dominatorsShared();
   std::shared_ptr<const cfg::LoopInfo> loopsShared();
 

@@ -79,7 +79,7 @@ bool opt::runBlockReorder(Function &F) {
   // travel with the payload, so branches stay correct.
   struct Payload {
     int Label;
-    std::vector<Insn> Insns;
+    InsnSeq Insns;
     std::optional<Insn> Slot;
   };
   std::vector<Payload> Payloads;
@@ -95,8 +95,10 @@ bool opt::runBlockReorder(Function &F) {
     B->Insns = std::move(P.Insns);
     B->DelaySlot = P.Slot;
   }
-  // Delete jumps that became jumps-to-next (this also refreshes the lazy
-  // label-to-index cache).
+  // The payload moves above changed the label-to-index mapping without
+  // touching the block list, so invalidate explicitly; then delete jumps
+  // that became jumps-to-next.
+  F.noteBlockRemap();
   F.normalizeFallthroughs();
   return true;
 }
@@ -125,8 +127,7 @@ bool opt::runMergeFallthroughs(Function &F) {
     BasicBlock *Next = F.block(I + 1);
     CODEREP_CHECK(!B->DelaySlot && !Next->DelaySlot,
                   "merging after delay-slot filling");
-    for (Insn &X : Next->Insns)
-      B->Insns.push_back(std::move(X));
+    B->Insns.spliceBack(Next->Insns);
     F.eraseBlock(I + 1);
     Changed = true;
   }

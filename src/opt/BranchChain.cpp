@@ -37,7 +37,7 @@ bool opt::runBranchChaining(Function &F) {
   bool Changed = false;
   for (int I = 0; I < F.size(); ++I) {
     BasicBlock *B = F.block(I);
-    Insn *T = B->terminator();
+    auto T = B->terminator();
     if (!T)
       continue;
     switch (T->Op) {
@@ -81,7 +81,7 @@ bool opt::runBranchChaining(Function &F) {
   // becomes "if !c goto Y; X:" when nothing else enters the jump block.
   for (int I = 0; I + 2 < F.size(); ++I) {
     BasicBlock *B = F.block(I);
-    Insn *T = B->terminator();
+    auto T = B->terminator();
     if (!T || T->Op != Opcode::CondJump)
       continue;
     BasicBlock *JumpBlock = F.block(I + 1);
@@ -92,7 +92,7 @@ bool opt::runBranchChaining(Function &F) {
     // The jump block must be reached only by the fall-through edge.
     bool HasBranchPred = false;
     for (int J = 0; J < F.size() && !HasBranchPred; ++J) {
-      const Insn *U = F.block(J)->terminator();
+      auto U = F.block(J)->terminator();
       if (!U)
         continue;
       if ((U->Op == Opcode::Jump || U->Op == Opcode::CondJump) &&

@@ -31,7 +31,7 @@ void retargetBranches(Function &F, int OldLabel, int NewLabel,
   for (int B = 0; B < F.size(); ++B) {
     if (B == SkipIdx || Loop.contains(B))
       continue;
-    Insn *T = F.block(B)->terminator();
+    auto T = F.block(B)->terminator();
     if (!T)
       continue;
     if ((T->Op == Opcode::Jump || T->Op == Opcode::CondJump) &&
@@ -102,26 +102,53 @@ void createPreheader(Function &F, AnalysisManager &AM,
   retargetBranches(F, HLabel, NewLabel, *Fresh, H);
 }
 
-/// One hoisting attempt over the whole function. Returns true on change,
-/// after committing the change's effect on cached analyses (so the next
-/// attempt's queries are sound: loop info and dominators survive a chain
-/// of in-block hoists, liveness is recomputed).
-bool hoistOnce(Function &F, AnalysisManager &AM) {
+/// What one burst attempt did.
+enum class HoistStep {
+  None,      ///< nothing left to hoist anywhere
+  Hoisted,   ///< one RTL moved into an existing preheader
+  Preheader, ///< a preheader was created; block indices shifted
+};
+
+/// One hoisting burst over the whole function: performs plain hoists (into
+/// existing preheaders) until none remains or a preheader must be created,
+/// then returns so the caller can restart with fresh analyses.
+///
+/// All decisions inside the burst reuse the loop/dominator/liveness
+/// results pinned at entry. Loop info and dominators survive a plain
+/// hoist outright (the flow graph is untouched). Liveness is stale after
+/// one, but every decision it feeds is unaffected: the only liveness
+/// query is liveIn(header) of the candidate's own single-def register D,
+/// and a plain hoist moves a side-effect-free RTL defining some OTHER
+/// single-def register D' (D' != D, else DefCount[D] != 1) whose uses all
+/// have zero in-loop definitions (so none of them is any candidate's D
+/// either). Neither D's defs nor D's uses move, so liveIn(header, D) is
+/// the same in the stale and the recomputed result, and the burst takes
+/// byte-identical decisions to the restart-per-hoist driver it replaced
+/// (differentially tested against the suite goldens and random programs).
+HoistStep hoistBurst(Function &F, AnalysisManager &AM) {
   // Pin loops and dominators: createPreheader re-queries loop info
   // mid-attempt, which replaces the cache entries these refer to.
   std::shared_ptr<const LoopInfo> LIHandle = AM.loopsShared();
   std::shared_ptr<const Dominators> DomHandle = AM.dominatorsShared();
+  std::shared_ptr<const Liveness> LVHandle = AM.livenessShared();
   const LoopInfo &LI = *LIHandle;
   const Dominators &Dom = *DomHandle;
-  const Liveness &LV = AM.liveness();
+  const Liveness &LV = *LVHandle;
   const RegUniverse &U = LV.universe();
+  HoistStep Did = HoistStep::None;
 
+  // Restart the scan from the first loop after every hoist: removing a
+  // definition from a loop can make RTLs scanned earlier invariant.
+restart:
   for (const NaturalLoop &Loop : LI.loops()) {
-    // Gather loop-wide facts.
+    // Gather loop-wide facts. DefCount is a dense array over register
+    // numbers (vregs are the interesting entries; the few physical
+    // registers sit below FirstVirtual).
     bool LoopWritesMem = false;
-    std::map<int, int> DefCount;
+    std::vector<int> DefCount(
+        std::max(F.vregLimit(), static_cast<int>(FirstVirtual)), 0);
     for (int B : Loop.Blocks)
-      for (const Insn &I : F.block(B)->Insns) {
+      for (auto I : F.block(B)->Insns) {
         if (I.writesMem() || I.Op == Opcode::Call)
           LoopWritesMem = true;
         int D = I.definedReg();
@@ -147,7 +174,7 @@ bool hoistOnce(Function &F, AnalysisManager &AM) {
     for (int B : Loop.Blocks) {
       BasicBlock *Block = F.block(B);
       for (size_t I = 0; I < Block->Insns.size(); ++I) {
-        const Insn &X = Block->Insns[I];
+        auto X = Block->Insns[I];
         if (X.hasSideEffects() || X.isTransfer() ||
             X.Op == Opcode::Compare || X.Op == Opcode::Call ||
             X.Op == Opcode::Nop)
@@ -162,7 +189,7 @@ bool hoistOnce(Function &F, AnalysisManager &AM) {
         X.appendUsedRegs(Used);
         bool Invariant = true;
         for (int R : Used)
-          if (DefCount.count(R) && DefCount[R] > 0) {
+          if (DefCount[R] > 0) {
             Invariant = false;
             break;
           }
@@ -185,10 +212,10 @@ bool hoistOnce(Function &F, AnalysisManager &AM) {
         if (P < 0) {
           createPreheader(F, AM, Loop);
           // Structure changed (blocks inserted, branches retargeted):
-          // nothing survives; the restart recomputes.
+          // nothing survives; the caller restarts with fresh analyses.
           AM.noteEdit(
               PreservedAnalyses::none().preserve(AnalysisID::ShortestPaths));
-          return true;
+          return HoistStep::Preheader;
         }
         BasicBlock *Pre = F.block(P);
         Insn Hoisted = X;
@@ -199,13 +226,15 @@ bool hoistOnce(Function &F, AnalysisManager &AM) {
           Pre->Insns.push_back(Hoisted);
         // A plain hoist moves one non-transfer RTL between existing
         // blocks: the flow graph is untouched, so loop info and
-        // dominators carry into the next attempt; liveness does not.
+        // dominators stay valid; liveness is stale for everyone else
+        // (noteEdit drops it) but sound for this burst, per above.
         AM.noteEdit(PreservedAnalyses::cfgShape());
-        return true;
+        Did = HoistStep::Hoisted;
+        goto restart;
       }
     }
   }
-  return false;
+  return Did;
 }
 
 } // namespace
@@ -218,9 +247,12 @@ bool opt::runCodeMotion(Function &F) {
 bool opt::runCodeMotion(Function &F, AnalysisManager &AM) {
   bool Changed = false;
   int Guard = 0;
-  while (hoistOnce(F, AM) && Guard++ < 10000)
+  while (true) {
+    HoistStep Step = hoistBurst(F, AM);
+    if (Step == HoistStep::None || Guard++ >= 10000)
+      return Changed || Step != HoistStep::None;
     Changed = true;
-  return Changed;
+  }
 }
 
 namespace {

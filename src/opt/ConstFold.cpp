@@ -20,13 +20,14 @@ using namespace coderep::opt;
 using namespace coderep::rtl;
 
 /// SP/FP manipulation carries the stack discipline; leave it untouched.
-static bool touchesStackRegs(const Insn &I) {
+template <class InsnT> static bool touchesStackRegs(const InsnT &I) {
   int D = I.definedReg();
   return D == RegSP || D == RegFP;
 }
 
-/// Applies one local simplification to \p I. Returns true on change.
-static bool simplifyInsn(Insn &I) {
+/// Applies one local simplification to \p I (an Insn or an arena view;
+/// view writes land directly in the SoA streams). Returns true on change.
+template <class InsnT> static bool simplifyInsn(InsnT &I) {
   if (touchesStackRegs(I))
     return false;
   if (I.isBinaryOp() && I.Src1.isImm() && I.Src2.isImm()) {
@@ -83,7 +84,7 @@ bool opt::runConstantFolding(Function &F) {
     bool CCKnown = false;
     int64_t CCValue = 0;
     for (size_t I = 0; I < Block->Insns.size(); ++I) {
-      Insn &X = Block->Insns[I];
+      auto X = Block->Insns[I];
       Changed |= simplifyInsn(X);
       if (X.Op == Opcode::Compare) {
         CCKnown = X.Src1.isImm() && X.Src2.isImm();

@@ -17,8 +17,8 @@
 #include "support/Check.h"
 
 #include <array>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 using namespace coderep;
 using namespace coderep::cfg;
@@ -29,34 +29,80 @@ namespace {
 
 using ExprKey = std::array<int64_t, 8>;
 
+/// FNV-1a over the key words. Only used for bucketing - CSE never iterates
+/// the expression table, so hash order can't leak into decisions.
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const {
+    uint64_t H = 1469598103934665603ull;
+    for (int64_t V : K) {
+      H ^= static_cast<uint64_t>(V);
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
 /// The value-numbering state at one program point.
+///
+/// Registers are small dense integers and value numbers are allocated
+/// consecutively from 1, so every side table except the expression map is
+/// a flat vector indexed directly (-1 / false = absent); the expression
+/// map is a hash table. Every container is find-or-insert only - nothing
+/// here is ever iterated - so the layout cannot perturb decisions, and
+/// the extended-basic-block inheritance copy (one per single-pred block)
+/// is a handful of memcpys instead of a node-by-node tree clone. This
+/// table sits on the hottest path of the fused local sweep.
 struct ValueTable {
-  std::map<int, int> RegVN;         ///< register -> value number
-  std::map<ExprKey, int> ExprVN;    ///< expression -> value number
-  std::map<int, int64_t> ConstVal;  ///< value number -> known constant
-  std::map<int, int> Holder;        ///< value number -> register holding it
+  std::vector<int> RegVN;    ///< register -> value number (-1 = none)
+  std::unordered_map<ExprKey, int, ExprKeyHash>
+      ExprVN;                ///< expression -> value number
+  std::vector<int64_t> ConstVal; ///< value number -> known constant
+  std::vector<uint8_t> HasConst; ///< value number -> constant known?
+  std::vector<int> Holder;   ///< value number -> register holding it (-1)
   int MemEpoch = 0;
   int NextVN = 1;
 
   int freshVN() { return NextVN++; }
 
+  static void ensure(std::vector<int> &V, int I) {
+    if (static_cast<size_t>(I) >= V.size())
+      V.resize(I + 1, -1);
+  }
+
+  /// \p R's value number without creating one, or -1.
+  int lookupReg(int R) const {
+    return static_cast<size_t>(R) < RegVN.size() ? RegVN[R] : -1;
+  }
+
   int vnOfReg(int R) {
-    auto It = RegVN.find(R);
-    if (It != RegVN.end())
-      return It->second;
+    ensure(RegVN, R);
+    if (RegVN[R] >= 0)
+      return RegVN[R];
     int VN = freshVN();
     RegVN[R] = VN;
+    ensure(Holder, VN);
     Holder[VN] = R;
     return VN;
   }
 
   int vnOfExpr(ExprKey Key) {
-    auto It = ExprVN.find(Key);
-    if (It != ExprVN.end())
-      return It->second;
-    int VN = freshVN();
-    ExprVN[Key] = VN;
-    return VN;
+    auto [It, Inserted] = ExprVN.try_emplace(Key, NextVN);
+    if (Inserted)
+      ++NextVN;
+    return It->second;
+  }
+
+  bool hasConst(int VN) const {
+    return static_cast<size_t>(VN) < HasConst.size() && HasConst[VN];
+  }
+  int64_t constOf(int VN) const { return ConstVal[VN]; }
+  void setConst(int VN, int64_t V) {
+    if (static_cast<size_t>(VN) >= HasConst.size()) {
+      HasConst.resize(VN + 1, 0);
+      ConstVal.resize(VN + 1, 0);
+    }
+    HasConst[VN] = 1;
+    ConstVal[VN] = V;
   }
 
   int vnOfOperand(const Operand &O) {
@@ -65,7 +111,7 @@ struct ValueTable {
       return vnOfReg(O.Base);
     case OperandKind::Imm: {
       int VN = vnOfExpr({-1, O.Disp, 0, 0, 0, 0, 0, 0});
-      ConstVal[VN] = static_cast<int32_t>(O.Disp);
+      setConst(VN, static_cast<int32_t>(O.Disp));
       return VN;
     }
     case OperandKind::Mem:
@@ -93,20 +139,20 @@ struct ValueTable {
   }
 
   /// The register currently holding \p VN, or -1.
-  int validHolder(int VN) {
-    auto It = Holder.find(VN);
-    if (It == Holder.end())
+  int validHolder(int VN) const {
+    int H = static_cast<size_t>(VN) < Holder.size() ? Holder[VN] : -1;
+    if (H < 0 || lookupReg(H) != VN)
       return -1;
-    auto RIt = RegVN.find(It->second);
-    if (RIt == RegVN.end() || RIt->second != VN)
-      return -1;
-    return It->second;
+    return H;
   }
 
   void setReg(int R, int VN) {
+    ensure(RegVN, R);
     RegVN[R] = VN;
-    if (validHolder(VN) < 0)
+    if (validHolder(VN) < 0) {
+      ensure(Holder, VN);
       Holder[VN] = R;
+    }
   }
 
   void killMemory() { ++MemEpoch; }
@@ -151,10 +197,13 @@ private:
   const cfg::FlatCfg *Flat;
 
   bool processBlock(BasicBlock &B, ValueTable &VT);
-  bool rewriteOperands(Insn &I, ValueTable &VT);
+  template <class InsnT> bool rewriteOperands(InsnT &I, ValueTable &VT);
 };
 
-bool CsePass::rewriteOperands(Insn &I, ValueTable &VT) {
+/// \p I is an Insn or an arena view; rewrites through a view land directly
+/// in the SoA operand streams.
+template <class InsnT>
+bool CsePass::rewriteOperands(InsnT &I, ValueTable &VT) {
   // SP/FP arithmetic is the stack discipline: hands off.
   int D = I.definedReg();
   if (D == RegSP || D == RegFP)
@@ -168,9 +217,8 @@ bool CsePass::rewriteOperands(Insn &I, ValueTable &VT) {
     int VN = VT.vnOfReg(O.Base);
     Operand Saved = O;
     // Constant propagation first.
-    auto CIt = VT.ConstVal.find(VN);
-    if (CIt != VT.ConstVal.end()) {
-      O = Operand::imm(CIt->second);
+    if (VT.hasConst(VN)) {
+      O = Operand::imm(VT.constOf(VN));
       if (T.isLegal(I)) {
         Changed |= !(O == Saved);
         return;
@@ -196,7 +244,7 @@ bool CsePass::rewriteOperands(Insn &I, ValueTable &VT) {
 bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
   bool Changed = false;
   for (size_t Idx = 0; Idx < B.Insns.size(); ++Idx) {
-    Insn &I = B.Insns[Idx];
+    auto I = B.Insns[Idx];
     Changed |= rewriteOperands(I, VT);
 
     int D = I.definedReg();
@@ -223,10 +271,9 @@ bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
       // A load whose value is already in a register becomes a register
       // move; a known constant becomes an immediate move.
       if (I.Src1.isMem()) {
-        auto CIt = VT.ConstVal.find(VN);
         int H = VT.validHolder(VN);
-        if (CIt != VT.ConstVal.end()) {
-          Insn New = Insn::move(I.Dst, Operand::imm(CIt->second));
+        if (VT.hasConst(VN)) {
+          Insn New = Insn::move(I.Dst, Operand::imm(VT.constOf(VN)));
           if (T.isLegal(New)) {
             I = New;
             Changed = true;
@@ -241,7 +288,7 @@ bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
       }
       VT.setReg(D, VN);
       if (I.Src1.isImm())
-        VT.ConstVal[VN] = static_cast<int32_t>(I.Src1.Disp);
+        VT.setConst(VN, static_cast<int32_t>(I.Src1.Disp));
       break;
     }
     case Opcode::Lea:
@@ -277,24 +324,20 @@ bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
       // Constant propagation through the operation itself: when every
       // operand's value is known, the result is known, even on targets
       // where an immediate operand would be illegal in this RTL.
-      if (I.Op != Opcode::Lea && !VT.ConstVal.count(VN)) {
-        auto C1 = VT.ConstVal.find(VN1);
+      if (I.Op != Opcode::Lea && !VT.hasConst(VN)) {
         int64_t R;
         if (I.isUnaryOp()) {
-          if (C1 != VT.ConstVal.end() &&
-              evalConstUnary(I.Op, C1->second, R))
-            VT.ConstVal[VN] = R;
+          if (VT.hasConst(VN1) && evalConstUnary(I.Op, VT.constOf(VN1), R))
+            VT.setConst(VN, R);
         } else if (I.isBinaryOp()) {
-          auto C2 = VT.ConstVal.find(VN2);
-          if (C1 != VT.ConstVal.end() && C2 != VT.ConstVal.end() &&
-              evalConstBinary(I.Op, C1->second, C2->second, R))
-            VT.ConstVal[VN] = R;
+          if (VT.hasConst(VN1) && VT.hasConst(VN2) &&
+              evalConstBinary(I.Op, VT.constOf(VN1), VT.constOf(VN2), R))
+            VT.setConst(VN, R);
         }
       }
       int H = VT.validHolder(VN);
-      auto CIt = VT.ConstVal.find(VN);
-      if (CIt != VT.ConstVal.end()) {
-        Insn New = Insn::move(I.Dst, Operand::imm(CIt->second));
+      if (VT.hasConst(VN)) {
+        Insn New = Insn::move(I.Dst, Operand::imm(VT.constOf(VN)));
         if (T.isLegal(New) && !(New == I)) {
           I = New;
           Changed = true;
@@ -314,29 +357,24 @@ bool CsePass::processBlock(BasicBlock &B, ValueTable &VT) {
       int VN2 = VT.vnOfOperand(I.Src2);
       int VN = VT.vnOfExpr(
           {static_cast<int>(Opcode::Compare), VN1, VN2, 0, 0, 0, 0, 0});
-      auto C1 = VT.ConstVal.find(VN1);
-      auto C2 = VT.ConstVal.find(VN2);
-      if (C1 != VT.ConstVal.end() && C2 != VT.ConstVal.end())
-        VT.ConstVal[VN] = static_cast<int32_t>(C1->second) -
-                          static_cast<int64_t>(static_cast<int32_t>(
-                              C2->second));
+      if (VT.hasConst(VN1) && VT.hasConst(VN2))
+        VT.setConst(VN, static_cast<int32_t>(VT.constOf(VN1)) -
+                            static_cast<int64_t>(static_cast<int32_t>(
+                                VT.constOf(VN2))));
       VT.setReg(RegCC, VN);
       break;
     }
     case Opcode::CondJump: {
       // Constant folding at conditional branches, with the comparison
       // value propagated across the extended basic block (§3.3.1).
-      auto CCIt = VT.RegVN.find(RegCC);
-      if (CCIt != VT.RegVN.end()) {
-        auto CV = VT.ConstVal.find(CCIt->second);
-        if (CV != VT.ConstVal.end()) {
-          if (condHoldsFor(I.Cond, CV->second))
-            I = Insn::jump(I.Target);
-          else
-            B.Insns.erase(B.Insns.begin() + Idx);
-          Changed = true;
-          return Changed; // terminator handled; block done
-        }
+      int CC = VT.lookupReg(RegCC);
+      if (CC >= 0 && VT.hasConst(CC)) {
+        if (condHoldsFor(I.Cond, VT.constOf(CC)))
+          I = Insn::jump(I.Target);
+        else
+          B.Insns.erase(B.Insns.begin() + Idx);
+        Changed = true;
+        return Changed; // terminator handled; block done
       }
       break;
     }

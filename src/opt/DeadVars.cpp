@@ -35,7 +35,7 @@ static bool eliminateDeadVars(Function &F, const Liveness &LV) {
         Live.set(U.slot(R));
     }
     for (int I = static_cast<int>(Block->Insns.size()) - 1; I >= 0; --I) {
-      const Insn &X = Block->Insns[I];
+      auto X = Block->Insns[I];
       int D = X.definedReg();
       bool Dead = D >= 0 && !Live.test(U.slot(D)) && !X.hasSideEffects();
       if (Dead) {

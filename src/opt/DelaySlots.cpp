@@ -23,9 +23,8 @@ using namespace coderep::rtl;
 
 /// True if \p Candidate can be moved from before the instructions
 /// [From..End) into the delay slot after the terminator.
-static bool independent(const Insn &Candidate,
-                        const std::vector<Insn> &Insns, size_t From,
-                        size_t End) {
+static bool independent(const Insn &Candidate, const InsnSeq &Insns,
+                        size_t From, size_t End) {
   if (Candidate.isTransfer() || Candidate.Op == Opcode::Call ||
       Candidate.Op == Opcode::Nop)
     return false;
@@ -37,7 +36,7 @@ static bool independent(const Insn &Candidate,
   std::vector<int> CandUses;
   Candidate.appendUsedRegs(CandUses);
   for (size_t I = From; I < End; ++I) {
-    const Insn &X = Insns[I];
+    auto X = Insns[I];
     std::vector<int> XUses;
     X.appendUsedRegs(XUses);
     // X must not read what the candidate defines...
@@ -64,7 +63,7 @@ bool opt::runDelaySlotFilling(Function &F, int *NopsOut) {
     BasicBlock *Block = F.block(B);
     if (Block->DelaySlot)
       continue; // already filled
-    Insn *T = Block->terminator();
+    auto T = Block->terminator();
     if (!T)
       continue;
     size_t TermIdx = Block->Insns.size() - 1;

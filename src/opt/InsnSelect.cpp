@@ -21,6 +21,7 @@
 #include "opt/Pass.h"
 
 #include "opt/Liveness.h"
+#include "rtl/InsnOps.h"
 
 #include <algorithm>
 
@@ -31,16 +32,16 @@ using namespace coderep::rtl;
 
 namespace {
 
-/// True if \p I uses register \p R.
-bool uses(const Insn &I, int R) {
-  std::vector<int> Used;
-  I.appendUsedRegs(Used);
-  return std::find(Used.begin(), Used.end(), R) != Used.end();
+/// True if \p I uses register \p R. Generic over the value type and the
+/// arena views: the scan loops below call this per instruction pair, and
+/// materializing an Insn (or a use vector) per query dominated the pass.
+template <class InsnT> bool uses(const InsnT &I, int R) {
+  return rtl::detail::usesRegOf(I, R);
 }
 
 /// Substitutes the producer's value into one use of \p R inside \p C.
 /// Returns false if no substitution shape applies.
-bool substitute(Insn &C, int R, const Insn &P) {
+template <class ProducerT> bool substitute(Insn &C, int R, const ProducerT &P) {
   auto substIntoValueOperand = [&](Operand &O) {
     if (!O.isRegNo(R))
       return false;
@@ -53,7 +54,7 @@ bool substitute(Insn &C, int R, const Insn &P) {
   };
 
   /// The scale an index register multiplication/shift encodes, or -1.
-  auto scaleOf = [](const Insn &I) -> int {
+  auto scaleOf = [](const auto &I) -> int {
     if (I.Op == Opcode::Shl && I.Src1.isReg() && I.Src2.isImm() &&
         (I.Src2.Disp == 1 || I.Src2.Disp == 2))
       return I.Src2.Disp == 1 ? 2 : 4;
@@ -195,6 +196,7 @@ private:
   Function &F;
   const target::Target &T;
   const Liveness &LV;
+  std::vector<int> Depends; // scratch, reused across tryCombineAt calls
 
   bool tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
                     const RegUniverse &U);
@@ -202,7 +204,7 @@ private:
 
 bool Combiner::tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
                             const RegUniverse &U) {
-  Insn &P = Block.Insns[PI];
+  auto P = Block.Insns[PI];
   int R = P.definedReg();
   if (!isVirtualReg(R))
     return false;
@@ -212,12 +214,12 @@ bool Combiner::tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
 
   // Find the unique local consumer: the first use of R after P, with
   // nothing in between disturbing P's operands or memory.
-  std::vector<int> Depends;
+  Depends.clear();
   P.appendUsedRegs(Depends);
   bool ReadsMem = P.readsMem();
   int CI = -1;
   for (size_t J = PI + 1; J < Block.Insns.size(); ++J) {
-    const Insn &X = Block.Insns[J];
+    auto X = Block.Insns[J];
     if (uses(X, R)) {
       CI = static_cast<int>(J);
       break;
@@ -238,7 +240,7 @@ bool Combiner::tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
   // later redefinition or not live out of the block.
   bool DeadAfter = false;
   for (size_t J = CI + 1; J < Block.Insns.size(); ++J) {
-    const Insn &X = Block.Insns[J];
+    auto X = Block.Insns[J];
     if (uses(X, R))
       return false;
     if (X.definedReg() == R) {
@@ -253,7 +255,7 @@ bool Combiner::tryCombineAt(BasicBlock &Block, int PI, const BitVec &LiveOut,
       return false;
   }
 
-  Insn &C = Block.Insns[CI];
+  auto C = Block.Insns[CI];
   // Two-address memory form first: "M = r" after "r = M op y" becomes
   // "M = M op y" (68020 add-to-memory), provided nothing between touched
   // memory (guaranteed by the scan above when P reads M).

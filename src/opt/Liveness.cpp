@@ -28,7 +28,9 @@ void Liveness::compute(const Function &F, const cfg::FlatCfg &Flat) {
   std::vector<int> UsedScratch;
   for (int B = 0; B < N; ++B) {
     const BasicBlock *BB = F.block(B);
-    auto scan = [&](const Insn &I) {
+    // Generic over Insn and the arena views so the per-RTL scan never
+    // materializes a value-type copy (this runs on every recompute).
+    auto scan = [&](const auto &I) {
       UsedScratch.clear();
       I.appendUsedRegs(UsedScratch);
       for (int R : UsedScratch) {
@@ -40,7 +42,7 @@ void Liveness::compute(const Function &F, const cfg::FlatCfg &Flat) {
       if (D >= 0)
         Def[B].set(Universe.slot(D));
     };
-    for (const Insn &I : BB->Insns)
+    for (auto I : BB->Insns)
       scan(I);
     if (BB->DelaySlot)
       scan(*BB->DelaySlot);

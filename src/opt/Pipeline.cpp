@@ -57,6 +57,8 @@ const char *opt::phaseName(Phase P) {
     return "register allocation";
   case Phase::DelaySlotFilling:
     return "delay-slot filling";
+  case Phase::FusedLocalSweep:
+    return "fused local sweep";
   }
   CODEREP_UNREACHABLE("bad phase");
 }
@@ -80,8 +82,10 @@ PipelineStats &PipelineStats::operator+=(const PipelineStats &Other) {
   FunctionCacheHits += Other.FunctionCacheHits;
   FunctionCacheMisses += Other.FunctionCacheMisses;
   Analysis += Other.Analysis;
-  for (int I = 0; I < NumPhases; ++I)
+  for (int I = 0; I < NumPhases; ++I) {
     PhaseMicros[I] += Other.PhaseMicros[I];
+    FixpointPhaseMicros[I] += Other.FixpointPhaseMicros[I];
+  }
   return *this;
 }
 
@@ -250,6 +254,10 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   std::unique_ptr<Pass> Motion = createCodeMotionPass();
   std::unique_ptr<Pass> Strength = createStrengthReductionPass();
   std::unique_ptr<Pass> Fold = createConstantFoldingPass();
+  std::unique_ptr<Pass> FusedHead =
+      createFusedLocalSweepPass(T, FusedSegment::CseDeadVars);
+  std::unique_ptr<Pass> FusedTail =
+      createFusedLocalSweepPass(T, FusedSegment::BranchChainConstFold);
   std::unique_ptr<Pass> RegAlloc = createRegisterAllocationPass(T);
 
   PassRunner run(Stats, Sink);
@@ -262,7 +270,7 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     if (!Options.MutateForTesting || MutationDone)
       return false;
     for (int B = 0; B < F.size(); ++B)
-      for (rtl::Insn &I : F.block(B)->Insns)
+      for (auto I : F.block(B)->Insns)
         if (I.Op == rtl::Opcode::CondJump) {
           I.Cond = rtl::negate(I.Cond);
           F.noteRtlEdit();
@@ -274,11 +282,14 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
 
   // The commit protocol: record the epoch, run the pass, and on a change
   // let the manager keep exactly the analyses the pass vouched for.
-  auto runPass = [&](Phase Ph, Pass &P) {
+  // \p FoldPoint marks the fused tail segment, whose last sub-pass is the
+  // constant-folding body - the mutation self-check injects there so it
+  // keeps working under either scheduling of the four register passes.
+  auto runPass = [&](Phase Ph, Pass &P, bool FoldPoint = false) {
     return run(Ph, [&] {
       const uint64_t Before = F.analysisEpoch();
       PassResult R = P.run(F, AM);
-      if (Ph == Phase::ConstantFolding && injectMutation()) {
+      if ((Ph == Phase::ConstantFolding || FoldPoint) && injectMutation()) {
         R.Changed = true;
         R.Preserved = PreservedAnalyses::none();
       }
@@ -323,10 +334,25 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   // The fixpoint loop of Figure 3. One lambda per slot, in loop order, so
   // the scheduled and rerun-everything drivers below execute identical
   // bodies.
+  // With the fused sweep enabled, the FpLocalCse slot runs the head
+  // segment (CSE + dead variables), the FpBranchChain slot runs the tail
+  // segment (branch chaining + constant folding), and the two subsumed
+  // slots never run (or count) at all; their dirty bits are masked out of
+  // the scheduler below. The matrix rows stay valid because every row
+  // raises the bits {LocalCse, DeadVars, BranchChain, ConstFold} together
+  // - a segment's slot bit is set exactly when both of its sub-passes'
+  // bits would be, so the segment runs its two bodies at exactly the
+  // points the unfused scheduler runs them.
+  const uint16_t SubsumedByFused =
+      Options.FusedLocalSweep
+          ? static_cast<uint16_t>(fpBit(FpDeadVars) | fpBit(FpConstFold))
+          : 0;
   auto runFixpointPass = [&](int P) -> bool {
     switch (P) {
     case FpLocalCse:
-      return runPass(Phase::LocalCse, *Cse);
+      return Options.FusedLocalSweep
+                 ? runPass(Phase::FusedLocalSweep, *FusedHead)
+                 : runPass(Phase::LocalCse, *Cse);
     case FpDeadVars:
       return runPass(Phase::DeadVariableElim, *DeadVars);
     case FpCodeMotion:
@@ -336,7 +362,10 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     case FpInsnSelect:
       return runPass(Phase::InstructionSelection, *InsnSel);
     case FpBranchChain:
-      return runPass(Phase::BranchChaining, *BranchChain);
+      return Options.FusedLocalSweep
+                 ? runPass(Phase::FusedLocalSweep, *FusedTail,
+                           /*FoldPoint=*/true)
+                 : runPass(Phase::BranchChaining, *BranchChain);
     case FpConstFold:
       return runPass(Phase::ConstantFolding, *Fold);
     case FpReplicate:
@@ -350,6 +379,13 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   };
 
   int Iter = 0;
+  // Attribute the loop's slice of each phase's time: everything the
+  // PhaseMicros slots accrue between here and loop exit happened inside a
+  // fixpoint round.
+  int64_t LoopBase[NumPhases];
+  if (Stats)
+    for (int I = 0; I < NumPhases; ++I)
+      LoopBase[I] = Stats->PhaseMicros[I];
   if (Options.ChangeDrivenScheduling) {
     // Change-driven scheduling: a pass body runs only while its dirty bit
     // is set; a change raises the dirty bits of every pass it can perturb
@@ -363,13 +399,15 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     // all-clean verification round - where the legacy loop burns the full
     // battery to discover convergence - the scheduler executes only the
     // handful of passes the last change could have perturbed.
-    uint16_t Dirty = AllFixpointPasses;
+    uint16_t Dirty = AllFixpointPasses & static_cast<uint16_t>(~SubsumedByFused);
     while (Dirty && Iter++ < Options.MaxFixpointIterations) {
       obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
                                 format("\"function\": \"%s\", \"round\": %d",
                                        F.Name.c_str(), Iter));
       CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
+        if (SubsumedByFused & fpBit(P))
+          continue; // body runs inside the fused slot; not a skip
         if (!(Dirty & fpBit(P))) {
           if (Stats)
             ++Stats->FixpointPassesSkipped;
@@ -379,7 +417,7 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
         if (Stats)
           ++Stats->FixpointPassesRun;
         if (runFixpointPass(P))
-          Dirty |= Invalidates[P];
+          Dirty |= static_cast<uint16_t>(Invalidates[P] & ~SubsumedByFused);
       }
       F.verify();
       if (VS)
@@ -401,6 +439,8 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
                                        F.Name.c_str(), Iter));
       CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
+        if (SubsumedByFused & fpBit(P))
+          continue; // body runs inside the fused slot
         if (Stats)
           ++Stats->FixpointPassesRun;
         Changed |= runFixpointPass(P);
@@ -410,8 +450,11 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
         VS->endRound(Iter, F);
     }
   }
-  if (Stats)
+  if (Stats) {
     Stats->FixpointIterations += Iter;
+    for (int I = 0; I < NumPhases; ++I)
+      Stats->FixpointPhaseMicros[I] += Stats->PhaseMicros[I] - LoopBase[I];
+  }
 
   CurRound = -1;
   runPass(Phase::RegisterAllocation, *RegAlloc);
@@ -456,6 +499,11 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
           Stats->FixpointPassesSkipped - PassesSkippedBefore);
     M.add("pipeline.quiescent_rounds",
           Stats->QuiescentRounds - QuiescentBefore);
+    for (int I = 0; I < NumPhases; ++I)
+      if (Stats->FixpointPhaseMicros[I])
+        M.add(std::string("pipeline.fixpoint_us.") +
+                  phaseName(static_cast<Phase>(I)),
+              Stats->FixpointPhaseMicros[I]);
     const AnalysisCounters A = AM.counters();
     for (int I = 0; I < NumAnalysisIDs; ++I) {
       const std::string Name = analysisName(static_cast<AnalysisID>(I));

@@ -187,6 +187,21 @@ struct PipelineOptions {
   /// either way.
   bool ChangeDrivenScheduling = true;
 
+  /// Run the four cheap register-level fixpoint passes (local CSE, dead
+  /// variable elimination, branch chaining, constant folding) as two
+  /// FusedLocalSweep segments - one per adjacent pair in the Figure-3
+  /// round - instead of four separately scheduled slots. A segment
+  /// executes the same pass bodies back to back at exactly the points
+  /// the unfused scheduler runs them (their dirty bits move in lockstep,
+  /// see Pipeline.cpp), halving the pass dispatches (timer, commit,
+  /// verifier checkpoint, dirty-bit bookkeeping) those passes pay per
+  /// round. false schedules the individual passes, which is the
+  /// byte-identity oracle the fused sweep is differentially tested
+  /// against (see tests/FusedSweepTest.cpp) - output is byte-identical
+  /// either way, so like ChangeDrivenScheduling this is a non-semantic
+  /// option that is NOT folded into FunctionOptimizationCache keys.
+  bool FusedLocalSweep = true;
+
   /// Serve CFG/dataflow analyses from the per-function AnalysisManager,
   /// invalidated by what each pass declares it preserved (DESIGN.md
   /// section 11). false recomputes every analysis at every query, which is
@@ -241,8 +256,9 @@ enum class Phase {
   ConstantFolding,
   RegisterAllocation,
   DelaySlotFilling,
+  FusedLocalSweep, ///< Cse+DeadVars+BranchChain+ConstFold in one sweep
 };
-inline constexpr int NumPhases = 14;
+inline constexpr int NumPhases = 15;
 
 /// Returns a stable printable name, e.g. "branch chaining".
 const char *phaseName(Phase P);
@@ -294,6 +310,11 @@ struct PipelineStats {
   /// Wall-clock microseconds spent inside each pass, summed over every
   /// invocation (most passes run once per fixpoint iteration).
   int64_t PhaseMicros[NumPhases] = {};
+
+  /// The share of PhaseMicros accrued inside the Figure-3 fixpoint loop
+  /// (a phase like branch chaining also runs outside it; this slice is
+  /// what the loop itself pays, which is what pass fusion targets).
+  int64_t FixpointPhaseMicros[NumPhases] = {};
 
   /// Sum of PhaseMicros.
   int64_t totalMicros() const;

@@ -53,7 +53,7 @@ std::map<int, Node> buildInterference(Function &F, const Liveness &LV) {
     // Walk backwards maintaining the live set.
     BitVec Live = LV.liveOut(B);
     for (int I = static_cast<int>(Block->Insns.size()) - 1; I >= 0; --I) {
-      const Insn &X = Block->Insns[I];
+      auto X = Block->Insns[I];
       int D = X.definedReg();
       if (isVirtualReg(D)) {
         node(D);
@@ -88,7 +88,7 @@ void spillRegister(Function &F, int Reg, int Offset) {
   for (int B = 0; B < F.size(); ++B) {
     BasicBlock *Block = F.block(B);
     for (size_t I = 0; I < Block->Insns.size(); ++I) {
-      Insn &X = Block->Insns[I];
+      auto X = Block->Insns[I];
       std::vector<int> Used;
       X.appendUsedRegs(Used);
       bool UsesReg = std::find(Used.begin(), Used.end(), Reg) != Used.end();
@@ -103,7 +103,7 @@ void spillRegister(Function &F, int Reg, int Offset) {
         ++I; // X moved one position down
       }
       // Re-take the reference: the insert may have reallocated.
-      Insn &Y = Block->Insns[I];
+      auto Y = Block->Insns[I];
       if (DefsReg) {
         int T = F.freshVReg();
         Y.renameDef(Reg, T);
@@ -118,7 +118,7 @@ void spillRegister(Function &F, int Reg, int Offset) {
 /// Patches the prologue "SP = SP - frame" once spilling grew the frame.
 void patchFrameSize(Function &F) {
   BasicBlock *Entry = F.block(0);
-  for (Insn &I : Entry->Insns)
+  for (auto I : Entry->Insns)
     if (I.Op == Opcode::Sub && I.Dst.isRegNo(RegSP) && I.Src1.isRegNo(RegSP) &&
         I.Src2.isImm()) {
       I.Src2 = Operand::imm(F.FrameBytes);
@@ -206,7 +206,7 @@ bool opt::runRegisterAllocation(Function &F, const target::Target &T,
       for (int B = 0; B < F.size(); ++B) {
         BasicBlock *Block = F.block(B);
         for (size_t I = 0; I < Block->Insns.size();) {
-          Insn &X = Block->Insns[I];
+          auto X = Block->Insns[I];
           for (auto &[R, C] : Color) {
             X.renameUses(R, FirstAllocatable + C);
             X.renameDef(R, FirstAllocatable + C);

@@ -38,7 +38,7 @@ bool opt::runRegisterAssignment(Function &F) {
     Changed = true;
   };
   for (int B = 0; B < F.size(); ++B)
-    for (Insn &I : F.block(B)->Insns) {
+    for (auto I : F.block(B)->Insns) {
       if (I.Op == Opcode::Lea)
         continue; // address formation must keep the memory operand
       rewrite(I.Dst);

@@ -31,7 +31,7 @@ static int log2Exact(int64_t V) {
 static bool reduceMulToShift(Function &F) {
   bool Changed = false;
   for (int B = 0; B < F.size(); ++B)
-    for (Insn &I : F.block(B)->Insns) {
+    for (auto I : F.block(B)->Insns) {
       if (I.Op != Opcode::Mul)
         continue;
       Operand Var = I.Src1, Const = I.Src2;
@@ -91,7 +91,7 @@ static bool reduceLoopOnce(Function &F, AnalysisManager &AM) {
     std::vector<InductionVar> IVs;
     for (int B : Loop.Blocks)
       for (size_t I = 0; I < F.block(B)->Insns.size(); ++I) {
-        const Insn &X = F.block(B)->Insns[I];
+        auto X = F.block(B)->Insns[I];
         int D = X.definedReg();
         if (D >= 0)
           ++DefCount[D];
@@ -110,7 +110,7 @@ static bool reduceLoopOnce(Function &F, AnalysisManager &AM) {
       for (int B : Loop.Blocks) {
         BasicBlock *Block = F.block(B);
         for (size_t I = 0; I < Block->Insns.size(); ++I) {
-          Insn &X = Block->Insns[I];
+          auto X = Block->Insns[I];
           bool IsMul = X.Op == Opcode::Mul && X.Src1.isRegNo(IV.Reg) &&
                        X.Src2.isImm();
           bool IsShl = X.Op == Opcode::Shl && X.Src1.isRegNo(IV.Reg) &&

@@ -30,10 +30,12 @@ using namespace coderep::rtl;
 namespace {
 
 /// Everything needed to emit one copied block, captured before any splicing
-/// shifts positional indices.
+/// shifts positional indices. The RTLs are recorded as arena refs into the
+/// *original* blocks - stable across the splice - so planning copies no
+/// instruction bytes; applyPlan clones the refs slot-by-slot.
 struct CopySpec {
   int OrigLabel = -1;
-  std::vector<Insn> Insns;
+  std::vector<InsnRef> Insns;
   /// Label of the positional successor when the original can fall through
   /// (plain fall-through or the false side of a conditional branch).
   int FallLabel = -1;
@@ -49,16 +51,18 @@ struct Plan {
   int LoopsCompleted = 0;
 };
 
-/// Exact record of one applied plan's mutations, for step-6 rollback.
-/// Snapshotting the whole function per attempt (the previous scheme) copied
-/// every RTL even for the replications that stick, which dominated the
-/// replication phase; the undo log pays only for what actually changed.
+/// Exact record of one applied plan's mutations, for step-6 rollback. All
+/// RTLs allocated by an attempt sit above one arena watermark, so rolling
+/// back is a truncation plus the two structural reversals the watermark
+/// cannot see (re-attaching the detached jump ref and reverting step-5
+/// retargets); no instruction bytes are copied either way.
 struct UndoLog {
-  rtl::Insn Jump;     ///< the unconditional jump popped off the source block
+  rtl::InsnRef Jump = rtl::InvalidInsnRef; ///< detached, not copied
   int InsertAt = 0;   ///< position of the first spliced-in copy
   int InsertedCount = 0;
   /// (block label, previous branch target) for every step-5 retarget.
   std::vector<std::pair<int, int>> Retargets;
+  rtl::InsnArena::Watermark Mark; ///< arena frontier before the attempt
 };
 
 class JumpsPass {
@@ -272,7 +276,7 @@ bool JumpsPass::tryJumpAt(int BIdx) {
       translatePath(RoundSP->cheapestReturnPath(OldT->second));
   // A return path must still end in a return block.
   if (!ReturnPath.empty()) {
-    const rtl::Insn *Term = F.block(ReturnPath.back())->terminator();
+    auto Term = F.block(ReturnPath.back())->terminator();
     if (!Term || Term->Op != Opcode::Return)
       ReturnPath.clear();
   }
@@ -281,7 +285,7 @@ bool JumpsPass::tryJumpAt(int BIdx) {
   if (O.AllowIndirectEndings) {
     IndirectPath = translatePath(RoundSP->cheapestIndirectPath(OldT->second));
     if (!IndirectPath.empty()) {
-      const rtl::Insn *Term = F.block(IndirectPath.back())->terminator();
+      auto Term = F.block(IndirectPath.back())->terminator();
       if (!Term || Term->Op != Opcode::SwitchJump)
         IndirectPath.clear();
     }
@@ -389,11 +393,16 @@ bool JumpsPass::tryJumpAt(int BIdx) {
     int RetargetsBefore = S.Step5Retargets;
     int StubsBefore = S.StubJumpsAdded;
     UndoLog U;
-    // The splice is speculative: image the shape cache (entries and epoch)
-    // so a step-6 rollback restores the pre-attempt analyses instead of
-    // blanket-invalidating results the attempt never perturbed.
+    // The splice is speculative: every RTL the attempt allocates lands
+    // above one arena watermark (append-only mode), and the shape cache is
+    // imaged (entries and epoch), so a step-6 rollback truncates the arena
+    // and restores the pre-attempt analyses instead of copying RTLs back.
+    rtl::InsnArena &A = F.arena();
+    A.beginSpeculation();
+    U.Mark = A.watermark();
     AnalysisCache::Snapshot Snap = AC.snapshot();
     if (!applyPlan(BIdx, P, U)) {
+      A.rollback(U.Mark);
       setFate(CI, obs::CandidateFate::PlanFailed);
       continue;
     }
@@ -405,6 +414,8 @@ bool JumpsPass::tryJumpAt(int BIdx) {
       setFate(CI, obs::CandidateFate::RolledBackIrreducible);
       continue;
     }
+    A.commitSpeculation();
+    A.free(U.Jump); // the replaced jump's slot is dead for good
     ++S.JumpsReplaced;
     S.LoopsCompleted += P.LoopsCompleted;
     if (Sink) {
@@ -482,7 +493,7 @@ bool JumpsPass::buildPlan(const std::vector<int> &Path, int BIdx,
     const BasicBlock *Blk = F.block(Idx);
     CopySpec Spec;
     Spec.OrigLabel = Blk->Label;
-    Spec.Insns = Blk->Insns;
+    Spec.Insns = Blk->Insns.refs();
     if (!Blk->endsWithUnconditionalTransfer()) {
       if (Idx + 1 >= F.size())
         return false; // malformed; cannot happen on verified functions
@@ -524,11 +535,13 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
 
   // Emit the copies (plus stub jump blocks where a copy cannot fall
   // through to its intended next block).
+  rtl::InsnArena &A = F.arena();
   std::vector<std::unique_ptr<BasicBlock>> NewBlocks;
   for (size_t I = 0; I < K; ++I) {
     const CopySpec &Spec = P.Specs[I];
-    auto C = std::make_unique<BasicBlock>(CopyLabel[I]);
-    C->Insns = Spec.Insns;
+    auto C = std::make_unique<BasicBlock>(CopyLabel[I], A);
+    for (InsnRef R : Spec.Insns)
+      C->Insns.attachBack(A.clone(R));
 
     // The original label of whatever must come next for fall-through.
     int NextOrigLabel = -1;
@@ -537,7 +550,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
     else if (P.FavorLoops)
       NextOrigLabel = P.FNextLabel;
 
-    Insn *T = C->terminator();
+    auto T = C->terminator();
     int StubTarget = -1; // original label needing an explicit jump
     if (!T) {
       // Original fell through to Spec.FallLabel.
@@ -578,7 +591,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
     }
     NewBlocks.push_back(std::move(C));
     if (StubTarget >= 0) {
-      auto Stub = std::make_unique<BasicBlock>(F.freshLabel());
+      auto Stub = std::make_unique<BasicBlock>(F.freshLabel(), A);
       Stub->Insns.push_back(
           Insn::jump(mapLabel(StubTarget, static_cast<int>(I))));
       NewBlocks.push_back(std::move(Stub));
@@ -593,7 +606,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
       bool FallsToFNext = false;
       const CopySpec &LastSpec = P.Specs.back();
       if (P.FavorLoops) {
-        const Insn *T = Last->terminator();
+        auto T = Last->terminator();
         if (!T)
           FallsToFNext = LastSpec.FallLabel == P.FNextLabel;
         else // reversed or kept conditional branch falls through
@@ -608,8 +621,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
   // Everything from here on is recorded in the undo log.
   BasicBlock *B = F.block(BIdx);
   CODEREP_CHECK(B->endsWithJump(), "plan applied to a non-jump block");
-  U.Jump = B->Insns.back();
-  B->Insns.pop_back();
+  U.Jump = B->Insns.detachBack();
   int InsertAt = BIdx + 1;
   U.InsertAt = InsertAt;
   U.InsertedCount = static_cast<int>(NewBlocks.size());
@@ -633,7 +645,7 @@ bool JumpsPass::applyPlan(int BIdx, const Plan &P, UndoLog &U) {
       BasicBlock *XB = F.block(X);
       if (CopiedLabels.count(XB->Label))
         continue;
-      Insn *T = XB->terminator();
+      auto T = XB->terminator();
       if (!T || T->Op != Opcode::CondJump)
         continue;
       if (CopiedLabels.count(T->Target)) {
@@ -669,14 +681,18 @@ void JumpsPass::undo(const UndoLog &U) {
   for (auto [Label, OldTarget] : U.Retargets) {
     int Idx = F.indexOfLabel(Label);
     CODEREP_CHECK(Idx >= 0, "retargeted block vanished during rollback");
-    rtl::Insn *T = F.block(Idx)->terminator();
+    auto T = F.block(Idx)->terminator();
     CODEREP_CHECK(T && T->Op == Opcode::CondJump,
                   "retargeted terminator changed during rollback");
     T->Target = OldTarget;
   }
+  // Erasing the copies frees their refs; the watermark truncation below
+  // then drops those slots (and every pool span and free-list entry the
+  // attempt created) in one step-6 rollback.
   for (int I = 0; I < U.InsertedCount; ++I)
     F.eraseBlock(U.InsertAt);
-  F.block(U.InsertAt - 1)->Insns.push_back(U.Jump);
+  F.block(U.InsertAt - 1)->Insns.attachBack(U.Jump);
+  F.arena().rollback(U.Mark);
 }
 
 } // namespace

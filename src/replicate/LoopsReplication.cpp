@@ -32,7 +32,7 @@ namespace {
 /// terminating conditional branch is free of stores/calls, so copying it
 /// only duplicates the evaluation of the termination condition.
 bool isConditionBlock(const BasicBlock &Test) {
-  const Insn *T = Test.terminator();
+  auto T = Test.terminator();
   if (!T || T->Op != Opcode::CondJump)
     return false;
   for (size_t I = 0; I + 1 < Test.Insns.size(); ++I)
@@ -51,7 +51,7 @@ bool replaceJumpWithReversedTest(Function &F, int BIdx, int TestIdx) {
     return false;
   BasicBlock *B = F.block(BIdx);
   const BasicBlock *Test = F.block(TestIdx);
-  const Insn &T = Test->Insns.back();
+  auto T = Test->Insns.back();
   int FallLabel = F.block(BIdx + 1)->Label;
   int TestFallLabel =
       TestIdx + 1 < F.size() ? F.block(TestIdx + 1)->Label : -1;
@@ -71,7 +71,8 @@ bool replaceJumpWithReversedTest(Function &F, int BIdx, int TestIdx) {
   }
 
   B->Insns.pop_back();
-  B->Insns.insert(B->Insns.end(), Test->Insns.begin(), Test->Insns.end() - 1);
+  for (size_t I = 0; I + 1 < Test->Insns.size(); ++I)
+    B->Insns.push_back(Test->Insns[I]);
   B->Insns.push_back(NewBranch);
   // The terminator changed from a jump to a conditional branch: the flow
   // graph has new edges, so move the analysis epoch.
@@ -95,7 +96,7 @@ bool loopsOnce(Function &F, AnalysisCache &AC, ReplicationStats &S,
     const NaturalLoop *L = LI.innermostLoopContaining(TIdx);
     if (!L || !isConditionBlock(*F.block(TIdx)))
       continue;
-    const Insn &Test = F.block(TIdx)->Insns.back();
+    auto Test = F.block(TIdx)->Insns.back();
     int TestTargetIdx = F.indexOfLabel(Test.Target);
     bool TestExitsByBranch = !L->contains(TestTargetIdx);
     bool TestExitsByFall =

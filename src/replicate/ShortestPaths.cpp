@@ -25,7 +25,7 @@ ShortestPaths::ShortestPaths(const Function &F, Strategy S,
   // out of indirect jumps (such blocks may still *end* a sequence,
   // Section 6).
   auto forEachEdge = [&F](int U, auto &&Visit) {
-    const rtl::Insn *T = F.block(U)->terminator();
+    auto T = F.block(U)->terminator();
     if (T && T->Op == rtl::Opcode::SwitchJump)
       return;
     F.forEachSuccessor(U, [&](int V) {
@@ -238,7 +238,7 @@ uint64_t ShortestPaths::fingerprint(const Function &F) {
     const BasicBlock *Blk = F.block(B);
     mix(static_cast<uint64_t>(Blk->Label));
     mix(static_cast<uint64_t>(Blk->rtlCount()));
-    const rtl::Insn *T = Blk->terminator();
+    auto T = Blk->terminator();
     if (!T) {
       mix(0xff);
       continue;

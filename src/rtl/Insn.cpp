@@ -2,6 +2,8 @@
 
 #include "rtl/Insn.h"
 
+#include "rtl/InsnOps.h"
+
 #include "support/Check.h"
 #include "support/Format.h"
 
@@ -112,129 +114,24 @@ Insn Insn::call(int Callee) {
 
 Insn Insn::ret() { return Insn(Opcode::Return); }
 
-int Insn::definedReg() const {
-  switch (Op) {
-  case Opcode::Compare:
-    return RegCC;
-  case Opcode::Call:
-    return RegRV;
-  case Opcode::Move:
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::Mul:
-  case Opcode::Div:
-  case Opcode::Rem:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::Neg:
-  case Opcode::Not:
-  case Opcode::Lea:
-    return Dst.isReg() ? Dst.Base : -1;
-  case Opcode::CondJump:
-  case Opcode::Jump:
-  case Opcode::SwitchJump:
-  case Opcode::Return:
-  case Opcode::Nop:
-    return -1;
-  }
-  CODEREP_UNREACHABLE("bad opcode");
-}
-
-static void appendOperandUses(const Operand &O, std::vector<int> &Out) {
-  if (O.isReg()) {
-    Out.push_back(O.Base);
-    return;
-  }
-  if (O.isMem()) {
-    if (O.Base >= 0)
-      Out.push_back(O.Base);
-    if (O.Index >= 0)
-      Out.push_back(O.Index);
-  }
-}
+int Insn::definedReg() const { return detail::definedRegOf(*this); }
 
 void Insn::appendUsedRegs(std::vector<int> &Out) const {
-  // The destination contributes uses only through memory addressing.
-  if (Dst.isMem())
-    appendOperandUses(Dst, Out);
-  appendOperandUses(Src1, Out);
-  appendOperandUses(Src2, Out);
-  switch (Op) {
-  case Opcode::CondJump:
-    Out.push_back(RegCC);
-    break;
-  case Opcode::Call:
-    Out.push_back(RegSP); // arguments live in memory at SP
-    break;
-  case Opcode::Return:
-    Out.push_back(RegRV);
-    Out.push_back(RegSP);
-    Out.push_back(RegFP);
-    break;
-  default:
-    break;
-  }
+  detail::appendUsedRegsOf(*this, Out);
 }
 
-bool Insn::writesMem() const {
-  switch (Op) {
-  case Opcode::Call:
-    return true; // conservatively: callees may write memory
-  case Opcode::CondJump:
-  case Opcode::Jump:
-  case Opcode::SwitchJump:
-  case Opcode::Return:
-  case Opcode::Compare:
-  case Opcode::Nop:
-    return false;
-  default:
-    return Dst.isMem();
-  }
-}
+bool Insn::writesMem() const { return detail::writesMemOf(*this); }
 
-bool Insn::readsMem() const {
-  if (Op == Opcode::Call)
-    return true;
-  if (Op == Opcode::Lea)
-    return false; // address formation only, no access
-  return Src1.isMem() || Src2.isMem();
-}
+bool Insn::readsMem() const { return detail::readsMemOf(*this); }
 
-bool Insn::hasSideEffects() const {
-  // SP/FP updates carry the stack discipline, which the dataflow analyses
-  // do not model; treat them as untouchable.
-  if (Dst.isReg() && (Dst.Base == RegSP || Dst.Base == RegFP))
-    return true;
-  return writesMem() || Op == Opcode::Call || isTransfer();
-}
-
-static void renameOperandUses(Operand &O, int From, int To) {
-  if (O.isReg()) {
-    if (O.Base == From)
-      O.Base = To;
-    return;
-  }
-  if (O.isMem()) {
-    if (O.Base == From)
-      O.Base = To;
-    if (O.Index == From)
-      O.Index = To;
-  }
-}
+bool Insn::hasSideEffects() const { return detail::hasSideEffectsOf(*this); }
 
 void Insn::renameUses(int From, int To) {
-  if (Dst.isMem())
-    renameOperandUses(Dst, From, To);
-  renameOperandUses(Src1, From, To);
-  renameOperandUses(Src2, From, To);
+  detail::renameUsesOf(*this, From, To);
 }
 
 void Insn::renameDef(int From, int To) {
-  if (Dst.isReg() && Dst.Base == From)
-    Dst.Base = To;
+  detail::renameDefOf(*this, From, To);
 }
 
 bool rtl::operator==(const Insn &A, const Insn &B) {

@@ -1,0 +1,200 @@
+//===- InsnOps.h - Shared RTL query/mutation logic --------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode-level queries and register renames that both representations
+/// of an RTL share: the value type rtl::Insn and the arena views
+/// rtl::InsnView / rtl::ConstInsnView (see InsnArena.h). Each template
+/// below only touches the fields every insn-like type exposes (Op, Cond,
+/// Dst, Src1, Src2, Target, Callee) - never the switch table - so one
+/// definition serves the AoS struct and the SoA streams alike.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_RTL_INSNOPS_H
+#define CODEREP_RTL_INSNOPS_H
+
+#include "rtl/Insn.h"
+#include "support/Check.h"
+
+#include <vector>
+
+namespace coderep::rtl::detail {
+
+template <class T> bool isBinaryOpOf(const T &I) {
+  return I.Op >= Opcode::Add && I.Op <= Opcode::Shr;
+}
+
+template <class T> bool isUnaryOpOf(const T &I) {
+  return I.Op == Opcode::Neg || I.Op == Opcode::Not;
+}
+
+template <class T> bool isUnconditionalTransferOf(const T &I) {
+  return I.Op == Opcode::Jump || I.Op == Opcode::SwitchJump ||
+         I.Op == Opcode::Return;
+}
+
+template <class T> bool isTransferOf(const T &I) {
+  return I.Op == Opcode::CondJump || isUnconditionalTransferOf(I);
+}
+
+template <class T> int definedRegOf(const T &I) {
+  switch (I.Op) {
+  case Opcode::Compare:
+    return RegCC;
+  case Opcode::Call:
+    return RegRV;
+  case Opcode::Move:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Lea:
+    return I.Dst.isReg() ? I.Dst.Base : -1;
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::SwitchJump:
+  case Opcode::Return:
+  case Opcode::Nop:
+    return -1;
+  }
+  CODEREP_UNREACHABLE("bad opcode");
+}
+
+inline void appendOperandUses(const Operand &O, std::vector<int> &Out) {
+  if (O.isReg()) {
+    Out.push_back(O.Base);
+    return;
+  }
+  if (O.isMem()) {
+    if (O.Base >= 0)
+      Out.push_back(O.Base);
+    if (O.Index >= 0)
+      Out.push_back(O.Index);
+  }
+}
+
+template <class T>
+void appendUsedRegsOf(const T &I, std::vector<int> &Out) {
+  // The destination contributes uses only through memory addressing.
+  if (I.Dst.isMem())
+    appendOperandUses(I.Dst, Out);
+  appendOperandUses(I.Src1, Out);
+  appendOperandUses(I.Src2, Out);
+  switch (I.Op) {
+  case Opcode::CondJump:
+    Out.push_back(RegCC);
+    break;
+  case Opcode::Call:
+    Out.push_back(RegSP); // arguments live in memory at SP
+    break;
+  case Opcode::Return:
+    Out.push_back(RegRV);
+    Out.push_back(RegSP);
+    Out.push_back(RegFP);
+    break;
+  default:
+    break;
+  }
+}
+
+template <class T> bool writesMemOf(const T &I) {
+  switch (I.Op) {
+  case Opcode::Call:
+    return true; // conservatively: callees may write memory
+  case Opcode::CondJump:
+  case Opcode::Jump:
+  case Opcode::SwitchJump:
+  case Opcode::Return:
+  case Opcode::Compare:
+  case Opcode::Nop:
+    return false;
+  default:
+    return I.Dst.isMem();
+  }
+}
+
+template <class T> bool readsMemOf(const T &I) {
+  if (I.Op == Opcode::Call)
+    return true;
+  if (I.Op == Opcode::Lea)
+    return false; // address formation only, no access
+  return I.Src1.isMem() || I.Src2.isMem();
+}
+
+template <class T> bool hasSideEffectsOf(const T &I) {
+  // SP/FP updates carry the stack discipline, which the dataflow analyses
+  // do not model; treat them as untouchable.
+  if (I.Dst.isReg() && (I.Dst.Base == RegSP || I.Dst.Base == RegFP))
+    return true;
+  return writesMemOf(I) || I.Op == Opcode::Call || isTransferOf(I);
+}
+
+inline bool operandUsesReg(const Operand &O, int R) {
+  if (O.isReg())
+    return O.Base == R;
+  if (O.isMem())
+    return O.Base == R || O.Index == R;
+  return false;
+}
+
+/// Allocation-free membership test over the same use set that
+/// appendUsedRegsOf enumerates.
+template <class T> bool usesRegOf(const T &I, int R) {
+  if (I.Dst.isMem() && operandUsesReg(I.Dst, R))
+    return true;
+  if (operandUsesReg(I.Src1, R) || operandUsesReg(I.Src2, R))
+    return true;
+  switch (I.Op) {
+  case Opcode::CondJump:
+    return R == RegCC;
+  case Opcode::Call:
+    return R == RegSP;
+  case Opcode::Return:
+    return R == RegRV || R == RegSP || R == RegFP;
+  default:
+    return false;
+  }
+}
+
+inline void renameOperandUses(Operand &O, int From, int To) {
+  if (O.isReg()) {
+    if (O.Base == From)
+      O.Base = To;
+    return;
+  }
+  if (O.isMem()) {
+    if (O.Base == From)
+      O.Base = To;
+    if (O.Index == From)
+      O.Index = To;
+  }
+}
+
+template <class T> void renameUsesOf(T &I, int From, int To) {
+  if (I.Dst.isMem())
+    renameOperandUses(I.Dst, From, To);
+  renameOperandUses(I.Src1, From, To);
+  renameOperandUses(I.Src2, From, To);
+}
+
+template <class T> void renameDefOf(T &I, int From, int To) {
+  if (I.Dst.isReg() && I.Dst.Base == From)
+    I.Dst.Base = To;
+}
+
+} // namespace coderep::rtl::detail
+
+#endif // CODEREP_RTL_INSNOPS_H

@@ -337,7 +337,7 @@ void Target::legalizeFunction(Function &F) const {
     Out.clear();
     Out.reserve(Block->Insns.size());
     InsnLegalizer L(*this, F, Out);
-    for (Insn &I : Block->Insns)
+    for (auto I : Block->Insns)
       L.legalize(std::move(I));
     Block->Insns = Out;
   }

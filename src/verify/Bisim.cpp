@@ -47,7 +47,7 @@ Point skipGlue(const Function &F, Point P) {
       P.I = 0;
       continue;
     }
-    const rtl::Insn &In = Blk->Insns[static_cast<size_t>(P.I)];
+    auto In = Blk->Insns[static_cast<size_t>(P.I)];
     if (In.Op == rtl::Opcode::Jump) {
       if (--JumpBudget < 0) {
         P.Diverged = true;
@@ -103,8 +103,8 @@ void Walker::step(std::array<int, 4> C) {
   if (Seen.size() > MaxConfigs)
     return;
 
-  const rtl::Insn &IP = FP.block(P.B)->Insns[static_cast<size_t>(P.I)];
-  const rtl::Insn &IQ = FQ.block(Q.B)->Insns[static_cast<size_t>(Q.I)];
+  auto IP = FP.block(P.B)->Insns[static_cast<size_t>(P.I)];
+  auto IQ = FQ.block(Q.B)->Insns[static_cast<size_t>(Q.I)];
 
   if (IP.Op == rtl::Opcode::CondJump || IQ.Op == rtl::Opcode::CondJump) {
     if (IP.Op != IQ.Op) {

@@ -219,7 +219,7 @@ bool applyOneMutation(const Harness &H, Program &P) {
     const int NumBlocks = P.Functions[FI]->size();
     for (int B = 0; B < NumBlocks; ++B) {
       const BasicBlock *Blk = P.Functions[FI]->block(B);
-      const rtl::Insn *Term = Blk->terminator();
+      auto Term = Blk->terminator();
 
       // Empty the body down to the terminator (or entirely, for a
       // fall-through block).

@@ -99,6 +99,21 @@ TEST(Function, NormalizeRemovesJumpToNext) {
   (void)L3;
 }
 
+TEST(Function, NormalizeIsEpochNeutralWhenNothingChanges) {
+  auto F = buildDiamond();
+  uint64_t Before = F->analysisEpoch();
+  uint64_t Version = F->cfgVersion();
+  F->normalizeFallthroughs(); // already normalized: a pure audit
+  EXPECT_EQ(F->analysisEpoch(), Before)
+      << "no-op normalize must not invalidate cached analyses";
+  EXPECT_EQ(F->cfgVersion(), Version);
+
+  // And when it does delete a jump-to-next, the epoch must move.
+  F->block(1)->Insns.back() = Insn::jump(F->block(2)->Label);
+  F->normalizeFallthroughs();
+  EXPECT_GT(F->analysisEpoch(), Before);
+}
+
 TEST(Function, VerifyAcceptsWellFormed) {
   buildDiamond()->verify();
   buildLoop()->verify();

@@ -55,7 +55,7 @@ TEST(BranchChaining, RemovesBranchToFallthrough) {
   BasicBlock *B1 = B.block(LNext);
   B1->Insns.push_back(Insn::ret());
   EXPECT_TRUE(runBranchChaining(*B.F));
-  EXPECT_EQ(B.F->block(0)->terminator(), nullptr);
+  EXPECT_FALSE(B.F->block(0)->terminator());
 }
 
 TEST(BranchChaining, LeavesEmptyInfiniteLoopAlone) {
@@ -83,7 +83,7 @@ TEST(BranchChaining, CollapsesBranchOverJump) {
   EXPECT_TRUE(runBranchChaining(*B.F));
   B.F->verify();
   EXPECT_EQ(B.F->size(), 3);
-  const Insn &T = B.F->block(0)->Insns.back();
+  auto T = B.F->block(0)->Insns.back();
   EXPECT_EQ(T.Op, Opcode::CondJump);
   EXPECT_EQ(T.Cond, CondCode::Ge);
   EXPECT_EQ(T.Target, LY);
@@ -210,7 +210,7 @@ TEST(ConstantFolding, FoldsConstantConditionalBranchNotTaken) {
   BasicBlock *B2 = B.block(LT);
   B2->Insns.push_back(Insn::ret());
   EXPECT_TRUE(runConstantFolding(*B.F));
-  EXPECT_EQ(B0->terminator(), nullptr); // branch removed, falls through
+  EXPECT_FALSE(B0->terminator()); // branch removed, falls through
 }
 
 TEST(ConstantFolding, LeavesStackAdjustmentsAlone) {
@@ -470,7 +470,7 @@ TEST_P(TargetedPassTest, RegisterAssignmentPromotesLocals) {
   B.F->FrameBytes = 4;
   B.F->PromotableLocals = {-4};
   EXPECT_TRUE(runRegisterAssignment(*B.F));
-  for (const Insn &I : B0->Insns) {
+  for (auto I : B0->Insns) {
     EXPECT_FALSE(I.Dst.isMem() && I.Dst.Base == RegFP);
     EXPECT_FALSE(I.Src1.isMem() && I.Src1.Base == RegFP);
   }

@@ -287,7 +287,7 @@ TEST(JumpsReplication, RemovesJumpToNext) {
   F->verify();
   EXPECT_TRUE(runJumps(*F));
   EXPECT_EQ(jumpCount(*F), 0);
-  EXPECT_EQ(F->block(0)->terminator(), nullptr);
+  EXPECT_FALSE(F->block(0)->terminator());
 }
 
 TEST(JumpsReplication, SelfLoopSkipped) {
