@@ -1,0 +1,125 @@
+//===- bench_report.cpp - Trend gate over BENCH_history.jsonl -------------===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+// Reads the history bench_compile appends to, compares the newest run
+// against a median-of-window baseline, prints a markdown report, and
+// exits nonzero when a machine-normalized ratio metric regressed beyond
+// the threshold. run_benches.sh and CI's perf-regression job call this
+// instead of eyeballing deltas.
+//
+// Usage:
+//   bench_report [HISTORY.jsonl] [--threshold=PCT] [--window=N]
+//                [--markdown-out=FILE] [--self-check]
+//
+// Exit codes: 0 healthy, 1 regression flagged (or self-check failure),
+// 2 usage or parse error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace coderep::bench;
+
+namespace {
+
+int selfCheck(const ReportOptions &Opts) {
+  // A short healthy series: the detector must stay quiet on it...
+  std::vector<BenchRecord> Records;
+  for (int I = 0; I < 4; ++I) {
+    BenchRecord R;
+    R.Strs["git_sha"] = "selfcheck";
+    R.Strs["date"] = "2026-01-01T00:00:00Z";
+    R.Nums["jumps_speedup"] = 2.6 + 0.01 * I;
+    R.Nums["verify_final_overhead"] = 30.0 - 0.1 * I;
+    R.Nums["obs_overhead"] = 1.01;
+    R.Nums["end_to_end_us"] = 900000 + 1000 * I;
+    Records.push_back(std::move(R));
+  }
+  BenchReportResult Clean = analyzeHistory(Records, Opts);
+  if (!Clean.ok()) {
+    std::fprintf(stderr, "self-check FAILED: clean series was flagged\n");
+    return 1;
+  }
+  // ...and must fire once a synthetic regression is appended.
+  seedSyntheticRegression(Records);
+  BenchReportResult Bad = analyzeHistory(Records, Opts);
+  if (Bad.ok()) {
+    std::fprintf(stderr,
+                 "self-check FAILED: seeded regression went undetected\n");
+    return 1;
+  }
+  std::printf("self-check ok: clean series passes, seeded regression is "
+              "flagged (%zu metric(s))\n",
+              Bad.Flagged.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path = "BENCH_history.jsonl", MarkdownOut;
+  ReportOptions Opts;
+  bool SelfCheck = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--threshold=", 0) == 0)
+      Opts.ThresholdPct = std::atof(Arg.c_str() + 12);
+    else if (Arg.rfind("--window=", 0) == 0)
+      Opts.Window = std::atoi(Arg.c_str() + 9);
+    else if (Arg.rfind("--markdown-out=", 0) == 0)
+      MarkdownOut = Arg.substr(15);
+    else if (Arg == "--self-check")
+      SelfCheck = true;
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_report [HISTORY.jsonl] [--threshold=PCT] "
+                   "[--window=N] [--markdown-out=FILE] [--self-check]\n");
+      return 2;
+    } else
+      Path = Arg;
+  }
+  if (Opts.ThresholdPct <= 0 || Opts.Window < 1) {
+    std::fprintf(stderr, "bench_report: threshold must be > 0, window >= 1\n");
+    return 2;
+  }
+
+  if (SelfCheck)
+    return selfCheck(Opts);
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "bench_report: cannot read %s\n", Path.c_str());
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  std::vector<BenchRecord> Records;
+  std::string Err;
+  if (!parseBenchHistory(SS.str(), Records, Err)) {
+    std::fprintf(stderr, "bench_report: %s: %s\n", Path.c_str(), Err.c_str());
+    return 2;
+  }
+
+  BenchReportResult R = analyzeHistory(Records, Opts);
+  std::string Markdown = renderMarkdown(R, Opts);
+  std::printf("%s", Markdown.c_str());
+  if (!MarkdownOut.empty()) {
+    std::ofstream Out(MarkdownOut, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n",
+                   MarkdownOut.c_str());
+      return 2;
+    }
+    Out << Markdown;
+  }
+  return R.ok() ? 0 : 1;
+}

@@ -10,7 +10,7 @@
 
 #include "Suite.h"
 
-#include "obs/TraceCli.h"
+#include "obs/ObsCli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -19,12 +19,12 @@ using namespace coderep;
 using namespace coderep::bench;
 
 int main(int Argc, char **Argv) {
-  obs::TraceCli Obs;
+  obs::ObsCli Obs("table5_instructions");
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (!Obs.consume(Arg)) {
       std::fprintf(stderr, "usage: table5_instructions %s\n",
-                   obs::TraceCli::usage());
+                   obs::ObsCli::usage());
       return 2;
     }
   }

@@ -18,7 +18,7 @@
 
 #include "Suite.h"
 #include "cache/PipelineCli.h"
-#include "obs/TraceCli.h"
+#include "obs/ObsCli.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -27,13 +27,13 @@ using namespace coderep;
 using namespace coderep::bench;
 
 int main(int Argc, char **Argv) {
-  obs::TraceCli Obs;
+  obs::ObsCli Obs("cache_study");
   cache::PipelineCli Pipe;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (!Obs.consume(Arg) && !Pipe.consume(Arg)) {
       std::fprintf(stderr, "usage: cache_study %s %s\n",
-                   cache::PipelineCli::usage(), obs::TraceCli::usage());
+                   cache::PipelineCli::usage(), obs::ObsCli::usage());
       return 1;
     }
   }

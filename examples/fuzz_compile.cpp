@@ -32,7 +32,7 @@
 
 #include "Suite.h"
 #include "frontend/CodeGen.h"
-#include "obs/TraceCli.h"
+#include "obs/ObsCli.h"
 #include "verify/Bisim.h"
 #include "verify/Oracle.h"
 #include "verify/RandomProgram.h"
@@ -209,7 +209,7 @@ int main(int Argc, char **Argv) {
   FuzzConfig C;
   uint64_t SeedLo = 1, SeedHi = 0;
   bool Suite = false;
-  obs::TraceCli Obs;
+  obs::ObsCli Obs("fuzz_compile");
   verify::VerifyCli Verify;
 
   for (int I = 1; I < Argc; ++I) {
@@ -259,7 +259,7 @@ int main(int Argc, char **Argv) {
                    "[--target=m68|sparc|both] "
                    "[--level=simple|loops|jumps|all] [--reduce] "
                    "[--repro-dir=DIR] [--expect-mismatch] %s %s\n",
-                   verify::VerifyCli::usage(), obs::TraceCli::usage());
+                   verify::VerifyCli::usage(), obs::ObsCli::usage());
       return 2;
     }
   }

@@ -10,7 +10,7 @@
 // With --trace-out=FILE the run also records span events and one decision
 // record per examined jump, exported as Chrome trace-event JSON; the
 // decision log is echoed to stdout. --metrics-out= and --dot-dir= work as
-// in every other binary (see obs/TraceCli.h), and so do --jobs= and
+// in every other binary (see obs/ObsCli.h), and so do --jobs= and
 // --pipeline-cache= (see cache/PipelineCli.h).
 //
 //===----------------------------------------------------------------------===//
@@ -20,7 +20,7 @@
 #include "cfg/FunctionPrinter.h"
 #include "driver/Compiler.h"
 #include "frontend/CodeGen.h"
-#include "obs/TraceCli.h"
+#include "obs/ObsCli.h"
 #include "replicate/Replication.h"
 #include "replicate/ShortestPaths.h"
 #include "target/Target.h"
@@ -30,13 +30,13 @@
 using namespace coderep;
 
 int main(int Argc, char **Argv) {
-  obs::TraceCli Obs;
+  obs::ObsCli Obs("inspect_replication");
   cache::PipelineCli Pipe;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (!Obs.consume(Arg) && !Pipe.consume(Arg)) {
       std::fprintf(stderr, "usage: inspect_replication %s %s\n",
-                   cache::PipelineCli::usage(), obs::TraceCli::usage());
+                   cache::PipelineCli::usage(), obs::ObsCli::usage());
       return 2;
     }
   }

@@ -18,7 +18,7 @@
 #include "Suite.h"
 #include "cache/PipelineCli.h"
 #include "cfg/FunctionPrinter.h"
-#include "obs/TraceCli.h"
+#include "obs/ObsCli.h"
 #include "support/Format.h"
 #include "verify/VerifyCli.h"
 
@@ -44,7 +44,7 @@ int main(int Argc, char **Argv) {
   target::TargetKind TK = target::TargetKind::Sparc;
   opt::OptLevel Level = opt::OptLevel::Jumps;
   bool Dump = false, Cache = false;
-  obs::TraceCli Obs;
+  obs::ObsCli Obs("minic_compiler");
   cache::PipelineCli Pipe;
   verify::VerifyCli Verify;
 
@@ -80,7 +80,7 @@ int main(int Argc, char **Argv) {
                  "usage: minic_compiler FILE.mc [--target=m68|sparc] "
                  "[--level=simple|loops|jumps] [--dump] [--input=FILE] "
                  "[--cache] %s %s %s\n",
-                 cache::PipelineCli::usage(), obs::TraceCli::usage(),
+                 cache::PipelineCli::usage(), obs::ObsCli::usage(),
                  verify::VerifyCli::usage());
     return 2;
   }

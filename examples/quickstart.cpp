@@ -7,16 +7,30 @@
 //
 // Build and run:  ./build/examples/quickstart
 //
+// Takes the shared observability flags, so the five-minute tour is also
+// the five-minute tour of the telemetry:
+//   ./build/examples/quickstart --trace-out=/tmp/q.json
+//       --profile-out=/tmp/q.speedscope.json --journal-out=/tmp/q.jsonl
+//
 //===----------------------------------------------------------------------===//
 
 #include "cfg/FunctionPrinter.h"
 #include "driver/Compiler.h"
+#include "obs/ObsCli.h"
 
 #include <cstdio>
 
 using namespace coderep;
 
-int main() {
+int main(int Argc, char **Argv) {
+  obs::ObsCli Obs("quickstart");
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Obs.consume(Arg))
+      continue;
+    std::fprintf(stderr, "usage: quickstart %s\n", obs::ObsCli::usage());
+    return 2;
+  }
   // A while loop (unconditional jump at the bottom) plus an if-then-else
   // (unconditional jump over the else part): the two shapes of Section 3.
   const char *Source = R"(
@@ -37,10 +51,12 @@ int main() {
     }
   )";
 
+  opt::PipelineOptions Opts;
+  Opts.Trace = Obs.config();
   for (opt::OptLevel Level : {opt::OptLevel::Simple, opt::OptLevel::Jumps}) {
     // Compile for the 68020-like CISC target.
     driver::Compilation C =
-        driver::compile(Source, target::TargetKind::M68, Level);
+        driver::compile(Source, target::TargetKind::M68, Level, &Opts);
     if (!C.ok()) {
       std::fprintf(stderr, "compile error: %s\n", C.Error.c_str());
       return 1;
@@ -63,5 +79,5 @@ int main() {
                 static_cast<unsigned long long>(R.Stats.UncondJumps));
     std::printf("exit code: %d\n\n", R.ExitCode);
   }
-  return 0;
+  return Obs.finish() ? 0 : 1;
 }

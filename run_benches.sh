@@ -9,7 +9,7 @@ ALL_BENCHES="table1_loop_exit table2_if_then_else fig1_natural_loops \
          fig2_overlap fig3_phase_order table4_jump_fraction \
          table5_instructions table6_cache sec52_branch_stats \
          ablation_heuristics ablation_length_cap bench_compile \
-         micro_algorithms"
+         bench_report micro_algorithms"
 MISSING=""
 for b in $ALL_BENCHES; do
   if [ ! -x "./build/bench/$b" ]; then
@@ -34,39 +34,15 @@ echo "##### bench/bench_compile #####"
 ./build/bench/bench_compile BENCH_compile.json
 echo
 
-# Compare this run against the previous BENCH_history.jsonl entry (the
-# record bench_compile just appended is the last line; the one before it
-# is the previous run). Best-effort: skipped without python3 or history.
-if command -v python3 >/dev/null 2>&1 && [ -f BENCH_history.jsonl ]; then
-  python3 - <<'EOF'
-import json
-
-with open("BENCH_history.jsonl") as f:
-    runs = [json.loads(line) for line in f if line.strip()]
-if len(runs) < 2:
-    print("bench history: first recorded run, nothing to compare against")
-else:
-    prev, cur = runs[-2], runs[-1]
-    print(f"bench history: comparing against {prev['git_sha']} ({prev['date']})")
-    for key in ("end_to_end_us", "jumps_total_optimized_us",
-                "simple_total_us", "loops_total_us",
-                "verify_off_total_us", "verify_final_total_us"):
-        p, c = prev.get(key), cur.get(key)
-        if not p or c is None:
-            continue
-        delta = 100.0 * (c - p) / p
-        print(f"  {key}: {p} -> {c} us ({delta:+.1f}%)")
-    ratio = cur.get("verify_final_overhead")
-    if ratio:
-        print(f"  oracle overhead (verify=final vs off): {ratio:.2f}x")
-    if cur.get("arena_peak_refs"):
-        print(f"  arena: {cur['arena_insns']} live insns, "
-              f"{cur['arena_peak_refs']} peak refs, "
-              f"{cur['arena_pool_bytes']} label-pool bytes "
-              f"(prev: {prev.get('arena_insns', '?')} / "
-              f"{prev.get('arena_peak_refs', '?')} / "
-              f"{prev.get('arena_pool_bytes', '?')})")
-EOF
+# Analyze the history trail the run above just appended to: per-metric
+# deltas against a median-of-window baseline, with machine-normalized
+# ratio metrics (jumps_speedup, verify_final_overhead, obs_overhead)
+# gating. A regression beyond the threshold exits nonzero and fails the
+# whole bench run.
+echo "##### bench/bench_report #####"
+if [ -f BENCH_history.jsonl ]; then
+  ./build/bench/bench_report BENCH_history.jsonl \
+      --markdown-out=BENCH_report.md
   echo
 fi
 

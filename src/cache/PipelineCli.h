@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The throughput counterpart of obs::TraceCli: every example and bench
+/// The throughput counterpart of obs::ObsCli: every example and bench
 /// binary exposes the same two pipeline-speed flags, and this header is the
 /// one place that parses them and owns the resulting cache:
 ///
@@ -25,7 +25,7 @@
 ///                         individual fixpoint slots instead of the fused
 ///                         sweep (the fusion byte-identity oracle)
 ///
-/// Usage mirrors TraceCli: call consume() on each argv entry (true = it was
+/// Usage mirrors ObsCli: call consume() on each argv entry (true = it was
 /// one of these flags), then apply() on the PipelineOptions the binary is
 /// about to compile with. Output is byte-identical at any flag value - the
 /// flags only change how fast it is produced.

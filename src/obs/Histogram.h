@@ -1,0 +1,213 @@
+//===- Histogram.h - Mergeable log-bucketed latency histograms --*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distribution half of the observability layer. Flat counters
+/// (Metrics.h) answer "how many"; the histograms here answer "how is it
+/// distributed" - per-function compile latency, per-pass fixpoint time,
+/// cache lookup latency, verify-oracle runtime - with p50/p90/p99 tail
+/// extraction, which is what the ROADMAP's compile-server and PGO items
+/// need recorded per session.
+///
+/// Design: HdrHistogram-style log-linear buckets. Values below
+/// 2^SubBucketBits are exact; above that, each power-of-two octave is
+/// split into 2^SubBucketBits linear sub-buckets, bounding the relative
+/// quantile error at 1/2^SubBucketBits (~1.6% with the default 6 bits)
+/// while keeping the bucket array small and fixed-size. Recording is a
+/// handful of bit operations plus one array increment - no allocation.
+///
+/// Merging adds bucket counts element-wise, so it is exact, associative
+/// and commutative: per-worker thread-local histograms folded in any
+/// completion order produce byte-identical quantiles, which is what lets
+/// the ThreadPool fan-out record without a shared lock on the hot path and
+/// still export deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OBS_HISTOGRAM_H
+#define CODEREP_OBS_HISTOGRAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coderep::obs {
+
+/// One mergeable log-linear histogram of non-negative int64 samples
+/// (negative samples clamp to 0). Value-type, lock-free: concurrency is
+/// the owner's problem (see HistogramRegistry for the shared variant).
+class Histogram {
+public:
+  /// Linear sub-buckets per octave = 2^SubBucketBits; also the count of
+  /// exact low buckets. Bounds the relative quantile error at
+  /// 1/2^SubBucketBits.
+  static constexpr int SubBucketBits = 6;
+  static constexpr int SubBuckets = 1 << SubBucketBits;
+  /// Octaves above the exact range: values up to 2^62 bucket cleanly.
+  static constexpr int NumBuckets = SubBuckets + (62 - SubBucketBits) * SubBuckets;
+
+  void record(int64_t Value) {
+    if (Value < 0)
+      Value = 0;
+    if (Count == 0) {
+      Lo = Hi = Value;
+    } else {
+      Lo = std::min(Lo, Value);
+      Hi = std::max(Hi, Value);
+    }
+    ++Count;
+    Total += Value;
+    int B = bucketFor(Value);
+    if (B >= static_cast<int>(Buckets.size()))
+      Buckets.resize(B + 1, 0);
+    ++Buckets[B];
+  }
+
+  /// Element-wise bucket addition: exact, associative, commutative.
+  void merge(const Histogram &Other) {
+    if (Other.Count == 0)
+      return;
+    if (Count == 0) {
+      Lo = Other.Lo;
+      Hi = Other.Hi;
+    } else {
+      Lo = std::min(Lo, Other.Lo);
+      Hi = std::max(Hi, Other.Hi);
+    }
+    Count += Other.Count;
+    Total += Other.Total;
+    if (Other.Buckets.size() > Buckets.size())
+      Buckets.resize(Other.Buckets.size(), 0);
+    for (size_t I = 0; I < Other.Buckets.size(); ++I)
+      Buckets[I] += Other.Buckets[I];
+  }
+
+  int64_t count() const { return Count; }
+  int64_t sum() const { return Total; }
+  int64_t min() const { return Count ? Lo : 0; }
+  int64_t max() const { return Count ? Hi : 0; }
+
+  /// The value at quantile \p Q in [0, 1]: the representative value of the
+  /// bucket holding the ceil(Q * count)-th smallest sample, clamped to the
+  /// recorded [min, max]. Exact below 2^SubBucketBits, within
+  /// 1/2^SubBucketBits relative error above. Empty histogram: 0.
+  int64_t quantile(double Q) const {
+    if (Count == 0)
+      return 0;
+    if (Q <= 0.0)
+      return min();
+    if (Q >= 1.0)
+      return max();
+    int64_t Rank = static_cast<int64_t>(Q * static_cast<double>(Count));
+    if (Rank >= Count)
+      Rank = Count - 1;
+    int64_t Seen = 0;
+    for (size_t I = 0; I < Buckets.size(); ++I) {
+      Seen += Buckets[I];
+      if (Seen > Rank)
+        return std::clamp(bucketMid(static_cast<int>(I)), Lo, Hi);
+    }
+    return Hi; // unreachable when counts are consistent
+  }
+
+  /// Bucket index of \p Value (>= 0): exact below SubBuckets, log-linear
+  /// above.
+  static int bucketFor(int64_t Value) {
+    if (Value < SubBuckets)
+      return static_cast<int>(Value);
+    // Octave = index of the highest set bit; Sub = the SubBucketBits bits
+    // below it, i.e. the linear position within the octave.
+    int Octave = 63 - __builtin_clzll(static_cast<uint64_t>(Value));
+    if (Octave > 61)
+      Octave = 61; // clamp pathological samples into the last octave
+    int Sub = static_cast<int>(
+        (static_cast<uint64_t>(Value) >> (Octave - SubBucketBits)) &
+        (SubBuckets - 1));
+    return SubBuckets + (Octave - SubBucketBits) * SubBuckets + Sub;
+  }
+
+  /// Inclusive lower bound of bucket \p B.
+  static int64_t bucketLow(int B) {
+    if (B < SubBuckets)
+      return B;
+    int Octave = SubBucketBits + (B - SubBuckets) / SubBuckets;
+    int Sub = (B - SubBuckets) % SubBuckets;
+    return (int64_t{1} << Octave) +
+           (static_cast<int64_t>(Sub) << (Octave - SubBucketBits));
+  }
+
+  /// Representative (midpoint) value of bucket \p B.
+  static int64_t bucketMid(int B) {
+    if (B < SubBuckets)
+      return B; // exact
+    int Octave = SubBucketBits + (B - SubBuckets) / SubBuckets;
+    int64_t Width = int64_t{1} << (Octave - SubBucketBits);
+    return bucketLow(B) + Width / 2;
+  }
+
+private:
+  int64_t Count = 0;
+  int64_t Total = 0;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  /// Sized lazily to the highest bucket touched (typical latency data
+  /// stays in the first few hundred slots), so empty and small histograms
+  /// are cheap enough to keep per-phase per-function.
+  std::vector<int64_t> Buckets;
+};
+
+/// Thread-safe name -> Histogram map: the shared registry a TraceSink
+/// carries next to its MetricsRegistry. Hot paths should record into a
+/// thread-local Histogram and merge() once per unit of work; record() is
+/// for coarse events (one cache lookup, one oracle check) where a mutex
+/// round-trip is noise.
+class HistogramRegistry {
+public:
+  void record(const std::string &Name, int64_t Value) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Values[Name].record(Value);
+  }
+
+  /// Folds \p H into the histogram \p Name (creating it empty). Merge
+  /// order cannot perturb the result, so concurrent workers may fold their
+  /// locals in completion order and still export deterministically.
+  void merge(const std::string &Name, const Histogram &H) {
+    if (H.count() == 0)
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    Values[Name].merge(H);
+  }
+
+  /// Copy of the named histogram; empty when never recorded.
+  Histogram get(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Values.find(Name);
+    return It == Values.end() ? Histogram() : It->second;
+  }
+
+  /// Copy of the whole registry, keys sorted.
+  std::map<std::string, Histogram> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Values;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Values.empty();
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, Histogram> Values;
+};
+
+} // namespace coderep::obs
+
+#endif // CODEREP_OBS_HISTOGRAM_H

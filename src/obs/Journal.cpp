@@ -1,0 +1,59 @@
+//===- Journal.cpp - Schema-versioned per-session event journal ----------===//
+
+#include "obs/Journal.h"
+
+#include "obs/Trace.h"
+#include "support/Format.h"
+
+using namespace coderep;
+using namespace coderep::obs;
+
+std::string obs::formatJournalRecord(const JournalRecord &R) {
+  std::string Out =
+      format("{\"v\": %d, \"event\": \"function\", \"fn\": \"%s\", "
+             "\"cache\": \"%s\", \"verify\": \"%s\", \"phase_us\": {",
+             JournalSchemaVersion, escapeJson(R.Fn).c_str(),
+             escapeJson(R.Cache).c_str(), escapeJson(R.Verify).c_str());
+  bool First = true;
+  for (const auto &[Name, Us] : R.PhaseUs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += format("\"%s\": %lld", escapeJson(Name).c_str(),
+                  static_cast<long long>(Us));
+  }
+  Out += "}, \"counters\": {";
+  First = true;
+  for (const auto &[Name, Value] : R.Counters) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += format("\"%s\": %lld", escapeJson(Name).c_str(),
+                  static_cast<long long>(Value));
+  }
+  Out += "}}";
+  return Out;
+}
+
+void Journal::append(JournalRecord R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Records.push_back(std::move(R));
+}
+
+size_t Journal::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Records.size();
+}
+
+std::string Journal::jsonl() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out =
+      format("{\"v\": %d, \"event\": \"session\", \"tool\": \"%s\", "
+             "\"records\": %zu}\n",
+             JournalSchemaVersion, escapeJson(Tool).c_str(), Records.size());
+  for (const JournalRecord &R : Records) {
+    Out += formatJournalRecord(R);
+    Out += '\n';
+  }
+  return Out;
+}

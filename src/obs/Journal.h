@@ -1,0 +1,95 @@
+//===- Journal.h - Schema-versioned per-session event journal ---*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable-record half of the observability layer: a per-session JSONL
+/// journal (`--journal-out=`) with one record per compiled function. Where
+/// the trace answers "what happened when" and the metrics answer "how
+/// much", the journal is the machine-consumable compile ledger the
+/// ROADMAP's compile-server daemon and profile-guided replication items
+/// will replay: per-phase micros, replication-decision fates, analysis
+/// hit/recompute counts, function-cache state and verify verdict, keyed by
+/// function.
+///
+/// Schema (version 1) - every line is one JSON object with "v" first:
+///
+///   {"v": 1, "event": "session", "tool": "...", "records": N}
+///   {"v": 1, "event": "function", "fn": "main", "cache": "miss",
+///    "verify": "pass", "phase_us": {"frontend": 12, ...},
+///    "counters": {"repl.jumps_replaced": 2, ...}}
+///
+/// The session line is emitted first and carries the record count, so a
+/// truncated file is detectable. Key order inside phase_us/counters is the
+/// producer's insertion order (the pipeline emits phases in pass order),
+/// making two runs of a deterministic workload byte-identical apart from
+/// the timing values themselves.
+///
+/// Layering: this lives in obs and therefore knows nothing about
+/// opt::Phase or ReplicationStats - records carry generic (name, int64)
+/// pairs and the pipeline does the naming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_OBS_JOURNAL_H
+#define CODEREP_OBS_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coderep::obs {
+
+/// The journal schema version emitted in every record's "v" field.
+inline constexpr int JournalSchemaVersion = 1;
+
+/// One per-function compile record. Pair vectors preserve the producer's
+/// insertion order in the export. Keys are pointers to static-lifetime
+/// strings (phase names and counter-name literals): filling a record is on
+/// the always-on compile path, so the keys must not be allocated per
+/// append - only the export formats them.
+struct JournalRecord {
+  std::string Fn;     ///< function name
+  std::string Cache;  ///< function-cache state: "hit", "miss" or "off"
+  std::string Verify; ///< oracle verdict: "pass", "fail" or "off"
+  std::vector<std::pair<const char *, int64_t>> PhaseUs;  ///< phase -> micros
+  std::vector<std::pair<const char *, int64_t>> Counters; ///< name -> value
+};
+
+/// Renders \p R as one JSON line (no trailing newline), "v" first.
+std::string formatJournalRecord(const JournalRecord &R);
+
+/// Thread-safe accumulator of journal records for one session. Append
+/// order is export order: callers that need a deterministic journal (the
+/// pipeline) must append from a deterministically-ordered point (the
+/// function-order stats merge), not from concurrent workers.
+class Journal {
+public:
+  explicit Journal(std::string Tool) : Tool(std::move(Tool)) {}
+
+  void append(JournalRecord R);
+
+  /// Number of records appended so far.
+  size_t size() const;
+
+  /// The full JSONL document: the session header line followed by one
+  /// line per record, in append order.
+  std::string jsonl() const;
+
+private:
+  mutable std::mutex Mu;
+  std::string Tool;
+  /// Raw records; rendering is deferred to jsonl() so an append on the
+  /// compile path costs one vector move, not thirty snprintfs (the
+  /// journal is part of the always-on telemetry budget).
+  std::vector<JournalRecord> Records;
+};
+
+} // namespace coderep::obs
+
+#endif // CODEREP_OBS_JOURNAL_H

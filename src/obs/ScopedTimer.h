@@ -11,7 +11,10 @@
 /// one is attached) and adds the elapsed microseconds to an accumulator
 /// (when one is given) - the pipeline's PhaseMicros counters are such
 /// accumulators. With neither, construction and destruction do no work at
-/// all: no clock read, no allocation.
+/// all: no clock read, no allocation. A sink whose events are muted
+/// (TraceSink::setEventsEnabled(false)) counts as absent: the muted
+/// configuration is the always-on-telemetry deployment, and spans must
+/// cost nothing there beyond what an accumulator demands.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,11 +35,12 @@ public:
   /// accumulation). \p Args is the begin-event's JSON args body.
   ScopedTimer(TraceSink *Sink, std::string Name, int64_t *AccumUs = nullptr,
               std::string Args = {})
-      : Sink(Sink), AccumUs(AccumUs) {
+      : Sink(Sink && Sink->eventsEnabled() ? Sink : nullptr),
+        AccumUs(AccumUs) {
+    Sink = this->Sink;
     if (!Sink && !AccumUs)
       return;
-    if (AccumUs)
-      Start = std::chrono::steady_clock::now();
+    Start = std::chrono::steady_clock::now();
     if (Sink) {
       this->Name = std::move(Name);
       Sink->begin(this->Name, std::move(Args));
@@ -45,6 +49,16 @@ public:
 
   ScopedTimer(const ScopedTimer &) = delete;
   ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Microseconds since construction; 0 for a fully-disabled timer (so
+  /// callers can feed it to a histogram without their own clock reads).
+  int64_t elapsedUs() const {
+    if (!Sink && !AccumUs)
+      return 0;
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
 
   ~ScopedTimer() {
     if (AccumUs)

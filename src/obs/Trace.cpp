@@ -5,7 +5,10 @@
 #include "support/Check.h"
 #include "support/Format.h"
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 
 using namespace coderep;
 using namespace coderep::obs;
@@ -125,6 +128,8 @@ uint32_t TraceSink::tidLocked() {
 }
 
 void TraceSink::begin(std::string Name, std::string Args) {
+  if (!eventsEnabled())
+    return;
   auto Now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> Lock(Mu);
   Events.push_back(
@@ -135,6 +140,8 @@ void TraceSink::begin(std::string Name, std::string Args) {
 }
 
 void TraceSink::end(std::string Name) {
+  if (!eventsEnabled())
+    return;
   auto Now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> Lock(Mu);
   Events.push_back(
@@ -145,6 +152,8 @@ void TraceSink::end(std::string Name) {
 }
 
 void TraceSink::instant(std::string Name, std::string Args) {
+  if (!eventsEnabled())
+    return;
   auto Now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> Lock(Mu);
   Events.push_back(
@@ -155,6 +164,8 @@ void TraceSink::instant(std::string Name, std::string Args) {
 }
 
 void TraceSink::counter(std::string Name, int64_t Value) {
+  if (!eventsEnabled())
+    return;
   auto Now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> Lock(Mu);
   Events.push_back(
@@ -184,12 +195,15 @@ uint64_t TraceSink::reserveDecisionId() {
 void TraceSink::recordDecision(ReplicationDecision D) {
   auto Now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> Lock(Mu);
-  Events.push_back(
-      {EventPhase::Instant, "replication decision",
-       format("\"decision\": \"%s\"", escapeJson(formatDecision(D)).c_str()),
-       std::chrono::duration_cast<std::chrono::microseconds>(Now - Epoch)
-           .count(),
-       tidLocked()});
+  // The structured record is always kept; only the mirrored timeline event
+  // obeys the events switch.
+  if (eventsEnabled())
+    Events.push_back(
+        {EventPhase::Instant, "replication decision",
+         format("\"decision\": \"%s\"", escapeJson(formatDecision(D)).c_str()),
+         std::chrono::duration_cast<std::chrono::microseconds>(Now - Epoch)
+             .count(),
+         tidLocked()});
   Decisions.push_back(std::move(D));
 }
 
@@ -201,6 +215,11 @@ std::vector<ReplicationDecision> TraceSink::decisions() const {
 std::vector<TraceEvent> TraceSink::events() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Events;
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceSink::threadNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ThreadNames;
 }
 
 std::string TraceSink::chromeTraceJson() const {
@@ -243,18 +262,109 @@ std::string TraceSink::chromeTraceJson() const {
 }
 
 std::string TraceSink::metricsJson() const {
-  std::map<std::string, int64_t> Snap = Metrics.snapshot();
+  // Render flat metrics and histograms into one name-keyed map so the
+  // export interleaves them in overall sorted-key order.
+  std::map<std::string, std::string> Rendered;
+  for (const auto &[Name, E] : Metrics.snapshotTyped())
+    Rendered[Name] = format(
+        "{\"value\": %lld, \"type\": \"%s\", \"unit\": \"%s\"}",
+        static_cast<long long>(E.Value), E.Gauge ? "gauge" : "counter",
+        metricUnit(Name));
+  for (const auto &[Name, H] : Histograms.snapshot())
+    Rendered[Name] = format(
+        "{\"type\": \"histogram\", \"unit\": \"%s\", \"count\": %lld, "
+        "\"sum\": %lld, \"min\": %lld, \"max\": %lld, \"p50\": %lld, "
+        "\"p90\": %lld, \"p99\": %lld}",
+        metricUnit(Name), static_cast<long long>(H.count()),
+        static_cast<long long>(H.sum()), static_cast<long long>(H.min()),
+        static_cast<long long>(H.max()),
+        static_cast<long long>(H.quantile(0.50)),
+        static_cast<long long>(H.quantile(0.90)),
+        static_cast<long long>(H.quantile(0.99)));
   std::string Out = "{\n";
   bool First = true;
-  for (const auto &[Name, Value] : Snap) {
+  for (const auto &[Name, Body] : Rendered) {
     if (!First)
       Out += ",\n";
     First = false;
-    Out += format("  \"%s\": %lld", escapeJson(Name).c_str(),
-                  static_cast<long long>(Value));
+    Out += format("  \"%s\": %s", escapeJson(Name).c_str(), Body.c_str());
   }
   Out += "\n}\n";
   return Out;
+}
+
+namespace {
+
+/// Crash-flush state: one armed sink per process. Guarded by a mutex on
+/// the install/cancel side; the flush side reads racily by design (it is
+/// already on a crash path).
+struct CrashFlushState {
+  std::mutex Mu;
+  TraceSink *Sink = nullptr;
+  std::string TracePath;
+  bool HandlersInstalled = false;
+  std::terminate_handler PrevTerminate = nullptr;
+};
+
+CrashFlushState &crashState() {
+  static CrashFlushState S;
+  return S;
+}
+
+/// Writes the armed sink's trace, then disarms so nested faults (a crash
+/// inside the flush) cannot loop.
+void crashFlushNow() {
+  CrashFlushState &S = crashState();
+  TraceSink *Sink = nullptr;
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Sink = S.Sink;
+    Path = S.TracePath;
+    S.Sink = nullptr;
+  }
+  if (Sink && !Path.empty())
+    TraceSink::writeFile(Path, Sink->chromeTraceJson());
+}
+
+void crashFlushAtExit() { crashFlushNow(); }
+
+void crashFlushTerminate() {
+  crashFlushNow();
+  std::terminate_handler Prev = crashState().PrevTerminate;
+  if (Prev)
+    Prev();
+  std::abort();
+}
+
+void crashFlushSignal(int Sig) {
+  crashFlushNow();
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
+
+} // namespace
+
+void TraceSink::installCrashFlush(TraceSink *Sink, std::string TracePath) {
+  CrashFlushState &S = crashState();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Sink = Sink;
+  S.TracePath = std::move(TracePath);
+  if (!S.HandlersInstalled) {
+    S.HandlersInstalled = true;
+    std::atexit(crashFlushAtExit);
+    S.PrevTerminate = std::set_terminate(crashFlushTerminate);
+    std::signal(SIGTERM, crashFlushSignal);
+    std::signal(SIGABRT, crashFlushSignal);
+    std::signal(SIGSEGV, crashFlushSignal);
+  }
+}
+
+void TraceSink::cancelCrashFlush() {
+  CrashFlushState &S = crashState();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Sink = nullptr;
+  S.TracePath.clear();
 }
 
 bool TraceSink::writeFile(const std::string &Path,

@@ -32,8 +32,10 @@
 #ifndef CODEREP_OBS_TRACE_H
 #define CODEREP_OBS_TRACE_H
 
+#include "obs/Histogram.h"
 #include "obs/Metrics.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -150,6 +152,22 @@ public:
   MetricsRegistry &metrics() { return Metrics; }
   const MetricsRegistry &metrics() const { return Metrics; }
 
+  /// The latency-distribution registry, exported alongside the flat
+  /// metrics by metricsJson() (entries of "type": "histogram").
+  HistogramRegistry &histograms() { return Histograms; }
+  const HistogramRegistry &histograms() const { return Histograms; }
+
+  /// Gates span/instant/counter *event* recording while leaving metrics,
+  /// histograms and decision records live. Lets a caller (the bench's
+  /// obs-overhead sweep, the future daemon's steady state) keep the cheap
+  /// aggregates without paying per-event clock reads and buffer growth.
+  void setEventsEnabled(bool Enabled) {
+    EventsEnabled.store(Enabled, std::memory_order_relaxed);
+  }
+  bool eventsEnabled() const {
+    return EventsEnabled.load(std::memory_order_relaxed);
+  }
+
   /// Reserves the next decision id. Ids are dense per sink; reserving
   /// before recording lets producers key side outputs (CFG DOT dumps) to
   /// the id the record will carry.
@@ -164,16 +182,39 @@ public:
   /// Snapshot of all events, in record order.
   std::vector<TraceEvent> events() const;
 
+  /// Snapshot of (dense tid, track name) pairs set via nameCurrentThread.
+  std::vector<std::pair<uint32_t, std::string>> threadNames() const;
+
   /// Chrome trace-event JSON: {"traceEvents": [...]} with one metadata
   /// thread_name event per track. Loadable in Perfetto/chrome://tracing.
   std::string chromeTraceJson() const;
 
-  /// Flat metrics JSON: one object, keys sorted, values int64.
+  /// Metrics JSON: one object, keys sorted; each entry is itself an
+  /// object carrying explicit semantics so goldens and consumers never
+  /// guess from position or name:
+  ///   "driver.fns": {"value": 3, "type": "counter", "unit": "count"}
+  ///   "fn.compile_us": {"type": "histogram", "unit": "us", "count": ...,
+  ///                     "sum": ..., "min": ..., "max": ..., "p50": ...,
+  ///                     "p90": ..., "p99": ...}
   std::string metricsJson() const;
 
   /// Writes \p Content to \p Path; returns false (and reports to stderr)
   /// on failure.
   static bool writeFile(const std::string &Path, const std::string &Content);
+
+  /// Arms crash-safe flushing: if the process exits (atexit), terminates
+  /// (std::terminate) or dies on SIGTERM/SIGABRT/SIGSEGV before
+  /// cancelCrashFlush(), the events recorded so far are written to
+  /// \p TracePath as complete, parseable Chrome-trace JSON - truncated at
+  /// the crash point but never syntactically broken. One sink may be
+  /// armed at a time; arming a second replaces the first. The signal path
+  /// formats JSON and is therefore not async-signal-safe - acceptable for
+  /// a best-effort crash artifact, not a substitute for the normal
+  /// end-of-run write.
+  static void installCrashFlush(TraceSink *Sink, std::string TracePath);
+
+  /// Disarms crash-safe flushing (call after the normal export succeeds).
+  static void cancelCrashFlush();
 
 private:
   uint32_t tidLocked(); ///< caller holds Mu
@@ -186,13 +227,22 @@ private:
   std::vector<std::pair<uint32_t, std::string>> ThreadNames;
   uint64_t NextDecisionId = 0;
   MetricsRegistry Metrics;
+  HistogramRegistry Histograms;
+  std::atomic<bool> EventsEnabled{true};
 };
+
+class Journal;
 
 /// How tracing is threaded through the compiler: a sink plus side-output
 /// knobs. Passed by value; a default-constructed TraceConfig disables
 /// everything.
 struct TraceConfig {
   TraceSink *Sink = nullptr;
+
+  /// When non-null, the pipeline appends one schema-versioned JSONL
+  /// record per compiled function (see Journal.h). Independent of Sink:
+  /// a journal can run with tracing off and vice versa.
+  Journal *SessionJournal = nullptr;
 
   /// When non-empty, every *applied* replication decision dumps the
   /// function's flow graph as Graphviz DOT before and after the splice,
@@ -201,6 +251,12 @@ struct TraceConfig {
   std::string CfgDotDir;
 
   bool enabled() const { return Sink != nullptr; }
+
+  /// True when span/instant events will actually be recorded: a sink is
+  /// attached and its events switch is on. Call sites use this to skip
+  /// building span names and args strings in the muted always-on
+  /// configuration, where only metrics/histograms/journals are live.
+  bool eventsActive() const { return Sink && Sink->eventsEnabled(); }
 };
 
 } // namespace coderep::obs

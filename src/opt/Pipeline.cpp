@@ -2,6 +2,7 @@
 
 #include "opt/Pipeline.h"
 
+#include "obs/Journal.h"
 #include "obs/ScopedTimer.h"
 #include "opt/Pass.h"
 #include "replicate/ShortestPaths.h"
@@ -91,25 +92,75 @@ PipelineStats &PipelineStats::operator+=(const PipelineStats &Other) {
 
 namespace {
 
+/// Metric and histogram key strings recorded once per compiled function.
+/// Built once per process so the muted always-on configuration pays map
+/// lookups on these keys but never rebuilds (and heap-allocates) them on
+/// the compile path.
+struct TelemetryKeys {
+  std::string FnCompileUs = "fn.compile_us";
+  std::string PassUs[NumPhases];
+  std::string FixpointUs[NumPhases];
+  std::string AnalysisHits[NumAnalysisIDs];
+  std::string AnalysisRecomputes[NumAnalysisIDs];
+  std::string AnalysisInvalidations[NumAnalysisIDs];
+  TelemetryKeys() {
+    for (int I = 0; I < NumPhases; ++I) {
+      PassUs[I] = std::string("pass_us.") + phaseName(static_cast<Phase>(I));
+      FixpointUs[I] = std::string("pipeline.fixpoint_us.") +
+                      phaseName(static_cast<Phase>(I));
+    }
+    for (int I = 0; I < NumAnalysisIDs; ++I) {
+      const std::string Name = analysisName(static_cast<AnalysisID>(I));
+      AnalysisHits[I] = "analysis." + Name + ".hits";
+      AnalysisRecomputes[I] = "analysis." + Name + ".recomputes";
+      AnalysisInvalidations[I] = "analysis." + Name + ".invalidations";
+    }
+  }
+};
+
+const TelemetryKeys &telemetryKeys() {
+  static const TelemetryKeys K;
+  return K;
+}
+
 /// Runs one pass invocation under a ScopedTimer that charges the elapsed
 /// microseconds to the phase's PhaseMicros slot and, when a trace sink is
 /// attached, emits a span event named after the phase. With neither stats
 /// nor sink the timer does no work (not even a clock read).
+///
+/// \p PassUs, when given (requires Stats), additionally records each
+/// invocation's duration into a per-phase latency histogram. The array is
+/// function-local - workers never share one - and optimizeFunction folds
+/// it into the sink's registry once at the end, so the hot path stays
+/// lock-free and the merged distribution is deterministic (histogram
+/// merging is commutative).
 class PassRunner {
 public:
-  PassRunner(PipelineStats *Stats, obs::TraceSink *Sink)
-      : Stats(Stats), Sink(Sink) {}
+  PassRunner(PipelineStats *Stats, obs::TraceSink *Sink,
+             obs::Histogram *PassUs = nullptr)
+      : Stats(Stats), Sink(Sink), PassUs(PassUs) {}
 
   template <typename Fn> bool operator()(Phase P, Fn &&Pass) {
-    obs::ScopedTimer Span(
-        Sink, phaseName(P),
-        Stats ? &Stats->PhaseMicros[static_cast<int>(P)] : nullptr);
-    return Pass();
+    int64_t *Accum = Stats ? &Stats->PhaseMicros[static_cast<int>(P)] : nullptr;
+    const int64_t Before = Accum ? *Accum : 0;
+    bool Changed;
+    {
+      // The name string is only materialized when a span will actually be
+      // recorded; the muted/stats-only path keeps the clock and nothing
+      // else (some phase names exceed SSO and would heap-allocate).
+      obs::ScopedTimer Span(
+          Sink, Sink ? std::string(phaseName(P)) : std::string(), Accum);
+      Changed = Pass();
+    }
+    if (PassUs && Accum)
+      PassUs[static_cast<int>(P)].record(*Accum - Before);
+    return Changed;
   }
 
 private:
   PipelineStats *Stats;
   obs::TraceSink *Sink;
+  obs::Histogram *PassUs;
 };
 
 /// The passes inside the Figure-3 fixpoint loop, in the loop's order.
@@ -196,7 +247,7 @@ static bool runReplication(Function &F, const PipelineOptions &Options,
 
 void opt::optimizeFunction(Function &F, const target::Target &T,
                            const PipelineOptions &OrigOptions,
-                           PipelineStats *Stats) {
+                           PipelineStats *Stats, obs::JournalRecord *JR) {
   F.verify();
 
   // Pin the replication growth budget to the pre-optimization size so the
@@ -207,24 +258,47 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     Options.Replication.GrowthBaselineRtls = std::max(F.rtlCount(), 64);
 
   // One sink serves the whole pipeline: pass spans here, round spans and
-  // decision records inside the replication passes.
+  // decision records inside the replication passes. EvSink is the sink
+  // for *span* call sites only: null when events are muted, so the muted
+  // always-on configuration never pays for span names and args strings
+  // (histograms, metrics, decisions and the journal keep the full Sink).
   Options.Replication.Trace = Options.Trace;
   obs::TraceSink *Sink = Options.Trace.Sink;
+  obs::TraceSink *EvSink = Options.Trace.eventsActive() ? Sink : nullptr;
+
+  // Journal: fill the caller's record slot, or a local one that gets
+  // appended directly when nobody else will (the standalone-call case;
+  // optimizeProgram always passes a slot so it can append in function
+  // order).
+  obs::JournalRecord LocalJR;
+  const bool AppendJournalSelf = !JR && Options.Trace.SessionJournal;
+  if (AppendJournalSelf)
+    JR = &LocalJR;
 
   // The per-function metrics below are deltas over the stats counters; when
-  // the caller wants tracing but no stats, accumulate into a local copy.
+  // the caller wants tracing or a journal but no stats, accumulate into a
+  // local copy.
   PipelineStats LocalStats;
-  if (Sink && !Stats)
+  if ((Sink || JR) && !Stats)
     Stats = &LocalStats;
   const replicate::ReplicationStats ReplBefore =
       Stats ? Stats->Replication : replicate::ReplicationStats();
   const int64_t PassesRunBefore = Stats ? Stats->FixpointPassesRun : 0;
   const int64_t PassesSkippedBefore = Stats ? Stats->FixpointPassesSkipped : 0;
   const int QuiescentBefore = Stats ? Stats->QuiescentRounds : 0;
+  int64_t PhaseBefore[NumPhases] = {};
+  if (JR)
+    for (int I = 0; I < NumPhases; ++I)
+      PhaseBefore[I] = Stats->PhaseMicros[I];
+  std::chrono::steady_clock::time_point FnStart;
+  if (Sink || JR)
+    FnStart = std::chrono::steady_clock::now();
 
-  obs::ScopedTimer FnSpan(Sink, "optimize " + F.Name, nullptr,
-                          format("\"function\": \"%s\", \"level\": \"%s\"",
-                                 F.Name.c_str(), optLevelName(Options.Level)));
+  obs::ScopedTimer FnSpan(
+      EvSink, EvSink ? "optimize " + F.Name : std::string(), nullptr,
+      EvSink ? format("\"function\": \"%s\", \"level\": \"%s\"",
+                      F.Name.c_str(), optLevelName(Options.Level))
+             : std::string());
 
   // Translation validation: the session snapshots F in its current
   // (post-legalize) state and re-checks it at the verifier's granularity
@@ -240,7 +314,7 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
   // from one replication invocation to the next (the fixpoint loop's later
   // iterations usually change nothing, so their replication calls
   // revalidate and reuse it).
-  AnalysisManager AM(F, Options.CacheAnalyses, Sink);
+  AnalysisManager AM(F, Options.CacheAnalyses, EvSink);
 
   // The pass instances (stateless apart from configuration).
   std::unique_ptr<Pass> BranchChain = createBranchChainingPass();
@@ -260,7 +334,10 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
       createFusedLocalSweepPass(T, FusedSegment::BranchChainConstFold);
   std::unique_ptr<Pass> RegAlloc = createRegisterAllocationPass(T);
 
-  PassRunner run(Stats, Sink);
+  // Per-phase pass-latency histograms, function-local (see PassRunner);
+  // folded into the sink's registry at the end of this function.
+  obs::Histogram PassHist[NumPhases];
+  PassRunner run(Stats, EvSink, Sink ? PassHist : nullptr);
 
   // The mutation-testing self-check: reverse the first conditional branch
   // once, immediately after a constant-folding invocation, so the verify
@@ -401,9 +478,11 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     // handful of passes the last change could have perturbed.
     uint16_t Dirty = AllFixpointPasses & static_cast<uint16_t>(~SubsumedByFused);
     while (Dirty && Iter++ < Options.MaxFixpointIterations) {
-      obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
-                                format("\"function\": \"%s\", \"round\": %d",
-                                       F.Name.c_str(), Iter));
+      obs::ScopedTimer IterSpan(
+          EvSink, "fixpoint round", nullptr,
+          EvSink ? format("\"function\": \"%s\", \"round\": %d",
+                          F.Name.c_str(), Iter)
+                 : std::string());
       CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
         if (SubsumedByFused & fpBit(P))
@@ -434,9 +513,11 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     bool Changed = true;
     while (Changed && Iter++ < Options.MaxFixpointIterations) {
       Changed = false;
-      obs::ScopedTimer IterSpan(Sink, "fixpoint round", nullptr,
-                                format("\"function\": \"%s\", \"round\": %d",
-                                       F.Name.c_str(), Iter));
+      obs::ScopedTimer IterSpan(
+          EvSink, "fixpoint round", nullptr,
+          EvSink ? format("\"function\": \"%s\", \"round\": %d",
+                          F.Name.c_str(), Iter)
+                 : std::string());
       CurRound = Iter;
       for (int P = 0; P < NumFixpointPasses; ++P) {
         if (SubsumedByFused & fpBit(P))
@@ -480,19 +561,90 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
     Stats->Analysis += AM.counters();
   }
 
+  int64_t FnUs = 0;
+  if (Sink || JR)
+    FnUs = std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - FnStart)
+               .count();
+
+  if (Sink) {
+    const TelemetryKeys &K = telemetryKeys();
+    obs::HistogramRegistry &H = Sink->histograms();
+    H.record(K.FnCompileUs, FnUs);
+    for (int I = 0; I < NumPhases; ++I)
+      if (PassHist[I].count())
+        H.merge(K.PassUs[I], PassHist[I]);
+  }
+
+  if (JR) {
+    JR->Fn = F.Name;
+    JR->Cache = Options.FunctionCache ? "miss" : "off";
+    JR->Verify = !Options.Verifier ? "off"
+                 : Options.Verifier->functionVerifiedClean(F.Name) ? "pass"
+                                                                   : "fail";
+    // Every phase appears (even at 0 us) so record keys are stable for the
+    // golden test; only the timing values vary run to run.
+    JR->PhaseUs.reserve(NumPhases + 1);
+    JR->Counters.reserve(15);
+    JR->PhaseUs.emplace_back("total", FnUs);
+    for (int I = 0; I < NumPhases; ++I)
+      JR->PhaseUs.emplace_back(phaseName(static_cast<Phase>(I)),
+                               Stats->PhaseMicros[I] - PhaseBefore[I]);
+    const replicate::ReplicationStats &R = Stats->Replication;
+    const AnalysisCounters A = AM.counters();
+    int64_t AnalysisHits = 0, AnalysisRecomputes = 0, AnalysisInvalidations = 0;
+    for (int I = 0; I < NumAnalysisIDs; ++I) {
+      AnalysisHits += A.Hits[I];
+      AnalysisRecomputes += A.Recomputes[I];
+      AnalysisInvalidations += A.Invalidations[I];
+    }
+    auto C = [&](const char *Name, int64_t Value) {
+      JR->Counters.emplace_back(Name, Value);
+    };
+    C("repl.jumps_replaced", R.JumpsReplaced - ReplBefore.JumpsReplaced);
+    C("repl.rolled_back_irreducible",
+      R.RolledBackIrreducible - ReplBefore.RolledBackIrreducible);
+    C("repl.skipped_length_cap",
+      R.SkippedLengthCap - ReplBefore.SkippedLengthCap);
+    C("repl.skipped_growth_budget",
+      R.SkippedGrowthBudget - ReplBefore.SkippedGrowthBudget);
+    C("repl.skipped_no_candidate",
+      R.SkippedNoCandidate - ReplBefore.SkippedNoCandidate);
+    C("repl.loops_completed", R.LoopsCompleted - ReplBefore.LoopsCompleted);
+    C("repl.step5_retargets", R.Step5Retargets - ReplBefore.Step5Retargets);
+    C("repl.stub_jumps_added", R.StubJumpsAdded - ReplBefore.StubJumpsAdded);
+    C("fixpoint.rounds", Iter);
+    C("fixpoint.passes_run", Stats->FixpointPassesRun - PassesRunBefore);
+    C("fixpoint.passes_skipped",
+      Stats->FixpointPassesSkipped - PassesSkippedBefore);
+    C("analysis.hits", AnalysisHits);
+    C("analysis.recomputes", AnalysisRecomputes);
+    C("analysis.invalidations", AnalysisInvalidations);
+    C("rtls_out", F.rtlCount());
+    if (AppendJournalSelf)
+      Options.Trace.SessionJournal->append(std::move(*JR));
+  }
+
   if (Sink) {
     const replicate::ReplicationStats &R = Stats->Replication;
+    const TelemetryKeys &K = telemetryKeys();
     obs::MetricsRegistry &M = Sink->metrics();
-    M.add("fn." + F.Name + ".jumps_replaced",
-          R.JumpsReplaced - ReplBefore.JumpsReplaced);
-    M.add("fn." + F.Name + ".rollbacks_irreducible",
-          R.RolledBackIrreducible - ReplBefore.RolledBackIrreducible);
-    M.add("fn." + F.Name + ".fixpoint_rounds", Iter);
-    M.set("fn." + F.Name + ".rtls_out", F.rtlCount());
-    M.add("fn." + F.Name + ".fixpoint_passes_run",
-          Stats->FixpointPassesRun - PassesRunBefore);
-    M.add("fn." + F.Name + ".fixpoint_passes_skipped",
-          Stats->FixpointPassesSkipped - PassesSkippedBefore);
+    if (EvSink) {
+      // Per-function-name breakdown metrics are timeline/debugging data
+      // like decision records: they obey the events switch. The muted
+      // always-on configuration keeps the aggregates below, and the
+      // journal already carries the same per-function deltas.
+      M.add("fn." + F.Name + ".jumps_replaced",
+            R.JumpsReplaced - ReplBefore.JumpsReplaced);
+      M.add("fn." + F.Name + ".rollbacks_irreducible",
+            R.RolledBackIrreducible - ReplBefore.RolledBackIrreducible);
+      M.add("fn." + F.Name + ".fixpoint_rounds", Iter);
+      M.set("fn." + F.Name + ".rtls_out", F.rtlCount());
+      M.add("fn." + F.Name + ".fixpoint_passes_run",
+            Stats->FixpointPassesRun - PassesRunBefore);
+      M.add("fn." + F.Name + ".fixpoint_passes_skipped",
+            Stats->FixpointPassesSkipped - PassesSkippedBefore);
+    }
     M.add("pipeline.fixpoint_passes_run",
           Stats->FixpointPassesRun - PassesRunBefore);
     M.add("pipeline.fixpoint_passes_skipped",
@@ -501,15 +653,12 @@ void opt::optimizeFunction(Function &F, const target::Target &T,
           Stats->QuiescentRounds - QuiescentBefore);
     for (int I = 0; I < NumPhases; ++I)
       if (Stats->FixpointPhaseMicros[I])
-        M.add(std::string("pipeline.fixpoint_us.") +
-                  phaseName(static_cast<Phase>(I)),
-              Stats->FixpointPhaseMicros[I]);
+        M.add(K.FixpointUs[I], Stats->FixpointPhaseMicros[I]);
     const AnalysisCounters A = AM.counters();
     for (int I = 0; I < NumAnalysisIDs; ++I) {
-      const std::string Name = analysisName(static_cast<AnalysisID>(I));
-      M.add("analysis." + Name + ".hits", A.Hits[I]);
-      M.add("analysis." + Name + ".recomputes", A.Recomputes[I]);
-      M.add("analysis." + Name + ".invalidations", A.Invalidations[I]);
+      M.add(K.AnalysisHits[I], A.Hits[I]);
+      M.add(K.AnalysisRecomputes[I], A.Recomputes[I]);
+      M.add(K.AnalysisInvalidations[I], A.Invalidations[I]);
     }
   }
 }
@@ -519,23 +668,49 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
                           PipelineStats *Stats) {
   const size_t N = P.Functions.size();
   FunctionOptimizationCache *Cache = Options.FunctionCache;
+  obs::Journal *SessionJournal = Options.Trace.SessionJournal;
   if (Options.Verifier)
     Options.Verifier->beginProgram(P);
+
+  // Journal slots filled by the workers, appended below in function order
+  // so the journal is deterministic at any job count.
+  std::vector<obs::JournalRecord> Records(SessionJournal ? N : 0);
 
   // Optimizes one function into private stats: cache consult first, the
   // full pipeline on a miss. Locals keep the aggregation race-free under
   // the fan-out below and give the cache an exact per-function delta.
-  auto optimizeOne = [&](Function &F, PipelineStats &Local) {
+  auto optimizeOne = [&](size_t I, Function &F, PipelineStats &Local) {
+    obs::JournalRecord *JR = SessionJournal ? &Records[I] : nullptr;
     if (!Cache) {
-      optimizeFunction(F, T, Options, &Local);
+      optimizeFunction(F, T, Options, &Local, JR);
       return;
     }
     const std::string Key = Cache->keyFor(F, T, Options);
-    if (Cache->lookup(Key, F, &Local)) {
+    bool Hit;
+    if (obs::TraceSink *Sink = Options.Trace.Sink) {
+      // Lookup latency distribution: histogram recording is commutative,
+      // so concurrent workers cannot perturb the exported quantiles.
+      const auto T0 = std::chrono::steady_clock::now();
+      Hit = Cache->lookup(Key, F, &Local);
+      Sink->histograms().record(
+          "cache.lookup_us",
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    } else {
+      Hit = Cache->lookup(Key, F, &Local);
+    }
+    if (Hit) {
       ++Local.FunctionCacheHits;
+      if (JR) {
+        JR->Fn = F.Name;
+        JR->Cache = "hit";
+        JR->Verify = "off"; // a hit skips the pipeline, so nothing ran
+        JR->Counters.emplace_back("rtls_out", F.rtlCount());
+      }
       return;
     }
-    optimizeFunction(F, T, Options, &Local);
+    optimizeFunction(F, T, Options, &Local, JR);
     ++Local.FunctionCacheMisses;
     Cache->store(Key, F, Local);
     if (Options.Verifier && Options.Verifier->functionVerifiedClean(F.Name))
@@ -552,7 +727,7 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
   std::vector<PipelineStats> Locals(N);
   if (Jobs <= 1) {
     for (size_t I = 0; I < N; ++I)
-      optimizeOne(*P.Functions[I], Locals[I]);
+      optimizeOne(I, *P.Functions[I], Locals[I]);
   } else {
     // Functions are independent, so fan them out; every worker writes only
     // its own function and stats slot. Reduction below runs in function
@@ -572,7 +747,7 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
               format("opt worker %u", NextWorker.fetch_add(1)));
         }
       }
-      optimizeOne(*P.Functions[I], Locals[I]);
+      optimizeOne(I, *P.Functions[I], Locals[I]);
     });
   }
 
@@ -583,6 +758,9 @@ void opt::optimizeProgram(Program &P, const target::Target &T,
     if (Stats)
       *Stats += L;
   }
+  if (SessionJournal)
+    for (obs::JournalRecord &R : Records)
+      SessionJournal->append(std::move(R));
   if (obs::TraceSink *Sink = Options.Trace.Sink; Sink && Cache) {
     Sink->metrics().add("pipeline_cache.hits", CacheHits);
     Sink->metrics().add("pipeline_cache.misses", CacheMisses);

@@ -51,6 +51,10 @@
 #include <memory>
 #include <string>
 
+namespace coderep::obs {
+struct JournalRecord;
+} // namespace coderep::obs
+
 namespace coderep::opt {
 
 struct PipelineOptions;
@@ -331,9 +335,15 @@ inline constexpr int NumFixpointPasses = 10;
 
 /// Optimizes one function in place. The function must already be legal for
 /// \p T (see Target::legalizeFunction).
+///
+/// When Options.Trace.SessionJournal is set, the per-function journal
+/// record is either written into \p JR (caller appends - what
+/// optimizeProgram does to keep the journal in function order under the
+/// parallel fan-out) or, with \p JR null, appended directly.
 void optimizeFunction(cfg::Function &F, const target::Target &T,
                       const PipelineOptions &Options,
-                      PipelineStats *Stats = nullptr);
+                      PipelineStats *Stats = nullptr,
+                      obs::JournalRecord *JR = nullptr);
 
 /// Optimizes every function of \p P. With Options.Jobs != 1 the functions
 /// are fanned out over a thread pool (each gets private stats, merged back

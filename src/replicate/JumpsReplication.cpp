@@ -135,7 +135,7 @@ bool JumpsPass::runRound() {
   ++Round;
   obs::ScopedTimer RoundSpan(
       O.Trace.Sink, "replication round", nullptr,
-      O.Trace.enabled()
+      O.Trace.eventsActive()
           ? format("\"function\": \"%s\", \"round\": %d",
                    obs::escapeJson(F.Name).c_str(), Round)
           : std::string());
@@ -225,8 +225,11 @@ bool JumpsPass::tryJumpAt(int BIdx) {
   int TIdx = F.indexOfLabel(TargetLabel);
   CODEREP_CHECK(TIdx >= 0, "jump to unknown label");
 
-  // The structured decision record; built and recorded only when tracing.
-  obs::TraceSink *Sink = O.Trace.Sink;
+  // The structured decision record; built and recorded only when event
+  // recording is active. Decisions are per-candidate timeline records (the
+  // inspect_replication feed), so like spans they obey the events switch:
+  // the muted always-on configuration keeps only the aggregate counters.
+  obs::TraceSink *Sink = O.Trace.eventsActive() ? O.Trace.Sink : nullptr;
   obs::ReplicationDecision D;
   bool IdReserved = false;
   if (Sink) {

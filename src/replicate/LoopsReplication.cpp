@@ -113,8 +113,10 @@ bool loopsOnce(Function &F, AnalysisCache &AC, ReplicationStats &S,
     if (replaceJumpWithReversedTest(F, B, TIdx)) {
       ++S.JumpsReplaced;
       // LOOPS considers exactly one candidate - the loop's termination
-      // test - so its decision record has a single applied entry.
-      if (obs::TraceSink *Sink = Trace.Sink) {
+      // test - so its decision record has a single applied entry. Like
+      // JUMPS decisions, the record obeys the events switch.
+      if (obs::TraceSink *Sink =
+              Trace.eventsActive() ? Trace.Sink : nullptr) {
         obs::ReplicationDecision D;
         D.Id = Sink->reserveDecisionId();
         D.Function = F.Name;

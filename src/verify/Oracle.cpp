@@ -16,6 +16,8 @@
 #include "support/Format.h"
 #include "support/Rng.h"
 
+#include <chrono>
+
 using namespace coderep;
 using namespace coderep::verify;
 
@@ -244,12 +246,17 @@ void OracleSession::check(const char *Pass, int Round, const cfg::Function &F) {
   if (CurText == BaselineText)
     return; // byte-identical: nothing to execute
 
+  // The check_us histogram stays live when span events are muted, so the
+  // clock runs independently of the span below (whose strings are only
+  // built when an event will actually be recorded).
+  const auto CheckStart = std::chrono::steady_clock::now();
+  const bool Events = O.Opts.Sink && O.Opts.Sink->eventsEnabled();
   obs::ScopedTimer Span(
-      O.Opts.Sink, "verify " + F.Name, nullptr,
-      O.Opts.Sink ? format("\"function\": \"%s\", \"pass\": \"%s\", "
-                           "\"round\": %d",
-                           obs::escapeJson(F.Name).c_str(), Pass, Round)
-                  : std::string());
+      O.Opts.Sink, Events ? "verify " + F.Name : std::string(), nullptr,
+      Events ? format("\"function\": \"%s\", \"pass\": \"%s\", "
+                      "\"round\": %d",
+                      obs::escapeJson(F.Name).c_str(), Pass, Round)
+             : std::string());
 
   int64_t InputsRun = 0, Inconclusive = 0;
   for (int I = 0; I < O.Opts.Inputs; ++I) {
@@ -284,6 +291,13 @@ void OracleSession::check(const char *Pass, int Round, const cfg::Function &F) {
   // so each report names the single pass that introduced the divergence.
   Baseline = F.clone();
   BaselineText = std::move(CurText);
+
+  if (O.Opts.Sink)
+    O.Opts.Sink->histograms().record(
+        "verify.check_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - CheckStart)
+            .count());
 }
 
 } // namespace coderep::verify

@@ -17,7 +17,7 @@
 /// which makes the pipeline silently miscompile so the subsystem can
 /// prove it catches real miscompiles (deliberately absent from usage()).
 ///
-/// Usage mirrors obs::TraceCli: consume() each argv entry, apply() onto
+/// Usage mirrors obs::ObsCli: consume() each argv entry, apply() onto
 /// the PipelineOptions before compiling, finish() after - it prints every
 /// mismatch and returns false when verification failed.
 ///

@@ -1,0 +1,144 @@
+//===- CrashFlushTest.cpp - Crash-safe trace flushing tests ---------------===//
+//
+// Covers TraceSink::installCrashFlush: a process killed mid-trace (by
+// SIGTERM, by abort, or by a plain exit() that skipped the normal export)
+// still leaves a truncated-but-valid Chrome-trace JSON on disk, while a
+// session that finished normally and disarmed leaves nothing behind. Each
+// scenario runs in a fork()ed child so the death is real.
+//
+// Deliberately named so it does NOT match the TSan matrix filter
+// (Trace*.*): fork() plus ThreadSanitizer runtime state do not mix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ScopedTimer.h"
+#include "obs/Trace.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace coderep;
+using namespace coderep::obs;
+using coderep::tests::JsonValidator;
+
+namespace {
+
+std::string tempPath(const char *Tag) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/coderep_crashflush_%ld_%s.json",
+                static_cast<long>(getpid()), Tag);
+  return Buf;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Forks; the child runs \p Child (recording into an armed sink) and dies
+/// however Child dies. Returns the child's wait status.
+template <typename Fn> int inForkedChild(Fn Child) {
+  std::fflush(nullptr); // don't double-flush stdio buffers into the child
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    Child();
+    _exit(97); // Child must not return
+  }
+  int Status = 0;
+  EXPECT_EQ(waitpid(Pid, &Status, 0), Pid);
+  return Status;
+}
+
+/// The truncated-but-valid contract: the file parses, carries the trace
+/// wrapper, and contains the spans recorded before the death.
+void expectValidTruncatedTrace(const std::string &Path) {
+  std::string Json;
+  ASSERT_TRUE(readFile(Path, Json)) << Path;
+  EXPECT_TRUE(JsonValidator(Json).validate()) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"mid crash span\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(CrashFlushTest, SigtermMidTraceLeavesValidJson) {
+  std::string Path = tempPath("sigterm");
+  std::remove(Path.c_str());
+  int Status = inForkedChild([&] {
+    static TraceSink Sink;
+    TraceSink::installCrashFlush(&Sink, Path);
+    Sink.begin("mid crash span"); // never ended: killed mid-compile
+    Sink.metrics().add("work.done", 1);
+    raise(SIGTERM);
+  });
+  // The handler flushes, restores SIG_DFL, and re-raises: the child must
+  // still report death-by-SIGTERM to its parent.
+  ASSERT_TRUE(WIFSIGNALED(Status));
+  EXPECT_EQ(WTERMSIG(Status), SIGTERM);
+  expectValidTruncatedTrace(Path);
+}
+
+TEST(CrashFlushTest, AbortMidTraceLeavesValidJson) {
+  std::string Path = tempPath("abort");
+  std::remove(Path.c_str());
+  int Status = inForkedChild([&] {
+    static TraceSink Sink;
+    TraceSink::installCrashFlush(&Sink, Path);
+    Sink.begin("mid crash span");
+    Sink.begin("deeper span"); // two dangling opens
+    std::abort();
+  });
+  ASSERT_TRUE(WIFSIGNALED(Status));
+  EXPECT_EQ(WTERMSIG(Status), SIGABRT);
+  expectValidTruncatedTrace(Path);
+}
+
+TEST(CrashFlushTest, PlainExitStillFlushesViaAtexit) {
+  std::string Path = tempPath("atexit");
+  std::remove(Path.c_str());
+  int Status = inForkedChild([&] {
+    static TraceSink Sink;
+    TraceSink::installCrashFlush(&Sink, Path);
+    {
+      ScopedTimer T(&Sink, "mid crash span");
+    }
+    std::exit(3); // skipped the normal export; atexit hook must cover it
+  });
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 3);
+  expectValidTruncatedTrace(Path);
+}
+
+TEST(CrashFlushTest, DisarmedSessionWritesNothing) {
+  std::string Path = tempPath("disarmed");
+  std::remove(Path.c_str());
+  int Status = inForkedChild([&] {
+    static TraceSink Sink;
+    TraceSink::installCrashFlush(&Sink, Path);
+    Sink.begin("mid crash span");
+    Sink.end("mid crash span");
+    TraceSink::cancelCrashFlush(); // the normal export path disarms
+    std::exit(0);
+  });
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  std::string Json;
+  EXPECT_FALSE(readFile(Path, Json)) << "disarmed flush still wrote " << Path;
+}
+
+} // namespace

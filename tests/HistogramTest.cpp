@@ -1,0 +1,205 @@
+//===- HistogramTest.cpp - Latency-histogram unit tests -------------------===//
+//
+// Covers obs::Histogram: quantiles against a sorted-vector oracle within
+// the documented relative error, exactness below the sub-bucket range,
+// merge associativity/commutativity (the property the deterministic
+// export rests on), and registry recording under ThreadPool concurrency
+// (this suite runs in the TSan matrix).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using namespace coderep;
+using namespace coderep::obs;
+
+namespace {
+
+/// Deterministic xorshift so the "random" workloads are reproducible.
+struct Rng {
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+};
+
+/// The exact value at quantile Q of \p V, using Histogram::quantile's rank
+/// convention: the sample at 0-based index floor(Q*N), with Q<=0 pinned to
+/// the minimum and Q>=1 to the maximum.
+int64_t oracleQuantile(std::vector<int64_t> V, double Q) {
+  std::sort(V.begin(), V.end());
+  if (Q <= 0.0)
+    return V.front();
+  if (Q >= 1.0)
+    return V.back();
+  size_t Idx = static_cast<size_t>(Q * static_cast<double>(V.size()));
+  if (Idx >= V.size())
+    Idx = V.size() - 1;
+  return V[Idx];
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0);
+  EXPECT_EQ(H.quantile(0.5), 0);
+  H.record(42);
+  EXPECT_EQ(H.count(), 1);
+  EXPECT_EQ(H.sum(), 42);
+  EXPECT_EQ(H.min(), 42);
+  EXPECT_EQ(H.max(), 42);
+  // 42 < 64 sub-buckets: the low range is exact.
+  EXPECT_EQ(H.quantile(0.0), 42);
+  EXPECT_EQ(H.quantile(0.5), 42);
+  EXPECT_EQ(H.quantile(1.0), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Below SubBuckets (64) every value gets its own bucket, so quantiles
+  // match the oracle exactly.
+  Histogram H;
+  std::vector<int64_t> V;
+  for (int64_t X = 0; X < 64; ++X)
+    for (int J = 0; J <= X % 3; ++J) {
+      H.record(X);
+      V.push_back(X);
+    }
+  for (double Q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(H.quantile(Q), oracleQuantile(V, Q)) << "Q=" << Q;
+}
+
+TEST(HistogramTest, QuantilesTrackOracleWithinRelativeError) {
+  // Log-bucketed with 6 sub-bucket bits: representative values are within
+  // 1/64 of the true sample. Allow 2/64 for the bucket-midpoint choice.
+  Rng R;
+  Histogram H;
+  std::vector<int64_t> V;
+  for (int I = 0; I < 20000; ++I) {
+    // Heavy-tailed: mix of microsecond-scale and second-scale latencies.
+    int64_t X = static_cast<int64_t>(R.next() % 1000);
+    if (I % 17 == 0)
+      X = static_cast<int64_t>(R.next() % 5000000);
+    H.record(X);
+    V.push_back(X);
+  }
+  EXPECT_EQ(H.count(), static_cast<int64_t>(V.size()));
+  for (double Q : {0.5, 0.9, 0.99}) {
+    int64_t Exact = oracleQuantile(V, Q);
+    int64_t Approx = H.quantile(Q);
+    double Tol = 2.0 / 64.0;
+    EXPECT_NEAR(static_cast<double>(Approx), static_cast<double>(Exact),
+                Tol * static_cast<double>(Exact) + 1.0)
+        << "Q=" << Q;
+  }
+  // Extremes are tracked exactly.
+  EXPECT_EQ(H.min(), *std::min_element(V.begin(), V.end()));
+  EXPECT_EQ(H.max(), *std::max_element(V.begin(), V.end()));
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram H;
+  H.record(-5);
+  H.record(0);
+  EXPECT_EQ(H.count(), 2);
+  EXPECT_EQ(H.min(), 0);
+  EXPECT_EQ(H.quantile(1.0), 0);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  // Three shards recorded independently must merge to the same state in
+  // any association/order -- this is what makes the concurrent
+  // fold-into-registry deterministic.
+  Rng R;
+  Histogram A, B, C;
+  std::vector<int64_t> All;
+  Histogram *Shards[3] = {&A, &B, &C};
+  for (int I = 0; I < 3000; ++I) {
+    int64_t X = static_cast<int64_t>(R.next() % 100000);
+    Shards[I % 3]->record(X);
+    All.push_back(X);
+  }
+
+  Histogram AB_C; // (A+B)+C
+  AB_C.merge(A);
+  AB_C.merge(B);
+  AB_C.merge(C);
+  Histogram C_BA; // C+(B+A)
+  C_BA.merge(C);
+  C_BA.merge(B);
+  C_BA.merge(A);
+
+  EXPECT_EQ(AB_C.count(), C_BA.count());
+  EXPECT_EQ(AB_C.sum(), C_BA.sum());
+  EXPECT_EQ(AB_C.min(), C_BA.min());
+  EXPECT_EQ(AB_C.max(), C_BA.max());
+  for (double Q : {0.1, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(AB_C.quantile(Q), C_BA.quantile(Q)) << "Q=" << Q;
+
+  // And the merged state equals recording everything into one histogram.
+  Histogram One;
+  for (int64_t X : All)
+    One.record(X);
+  EXPECT_EQ(One.count(), AB_C.count());
+  EXPECT_EQ(One.sum(), AB_C.sum());
+  for (double Q : {0.5, 0.99})
+    EXPECT_EQ(One.quantile(Q), AB_C.quantile(Q)) << "Q=" << Q;
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram A, Empty;
+  A.record(7);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1);
+  EXPECT_EQ(A.quantile(0.5), 7);
+  Histogram B;
+  B.merge(A);
+  EXPECT_EQ(B.count(), 1);
+  EXPECT_EQ(B.quantile(0.5), 7);
+}
+
+TEST(HistogramTest, RegistryConcurrentRecordAndMerge) {
+  // Half the workers record() directly into the registry, half fold
+  // function-local shards via merge() -- the two paths the pipeline uses.
+  // Totals must come out exact regardless of interleaving; run under TSan
+  // this also proves the locking.
+  HistogramRegistry Reg;
+  constexpr unsigned Threads = 8;
+  constexpr size_t Tasks = 64;
+  constexpr int PerTask = 50;
+  ThreadPool Pool(Threads);
+  Pool.parallelFor(Tasks, [&](size_t I) {
+    // Even and odd task indices record the same value set (I/2 + J), one
+    // through each path, so the two histograms must come out identical.
+    if (I % 2 == 0) {
+      for (int J = 0; J < PerTask; ++J)
+        Reg.record("direct_us", static_cast<int64_t>(I / 2 + J));
+    } else {
+      Histogram Local;
+      for (int J = 0; J < PerTask; ++J)
+        Local.record(static_cast<int64_t>(I / 2 + J));
+      Reg.merge("folded_us", Local);
+    }
+  });
+  EXPECT_EQ(Reg.get("direct_us").count(),
+            static_cast<int64_t>(Tasks / 2 * PerTask));
+  EXPECT_EQ(Reg.get("folded_us").count(),
+            static_cast<int64_t>(Tasks / 2 * PerTask));
+  // Same inputs through either path produce identical quantiles: merge
+  // determinism end to end.
+  for (double Q : {0.5, 0.9, 0.99})
+    EXPECT_EQ(Reg.get("direct_us").quantile(Q),
+              Reg.get("folded_us").quantile(Q))
+        << "Q=" << Q;
+}
+
+} // namespace

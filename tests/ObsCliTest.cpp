@@ -1,0 +1,133 @@
+//===- ObsCliTest.cpp - Shared observability flag handling tests ----------===//
+//
+// Covers obs::ObsCli, the flag parser every example and bench binary
+// shares: flag recognition, the null-sink fast path when no flag is given,
+// config() wiring for sink and journal, and finish() writing each
+// requested artifact as valid JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ObsCli.h"
+
+#include "obs/ScopedTimer.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+using namespace coderep;
+using namespace coderep::obs;
+using coderep::tests::JsonValidator;
+
+namespace {
+
+std::string tempPath(const char *Tag) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "/tmp/coderep_obscli_%ld_%s",
+                static_cast<long>(getpid()), Tag);
+  return Buf;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(ObsCliTest, ConsumeRecognizesExactlyTheObsFlags) {
+  ObsCli Cli;
+  EXPECT_TRUE(Cli.consume("--trace-out=/tmp/t.json"));
+  EXPECT_TRUE(Cli.consume("--metrics-out=/tmp/m.json"));
+  EXPECT_TRUE(Cli.consume("--profile-out=/tmp/p.json"));
+  EXPECT_TRUE(Cli.consume("--profile-folded=/tmp/p.folded"));
+  EXPECT_TRUE(Cli.consume("--journal-out=/tmp/j.jsonl"));
+  EXPECT_TRUE(Cli.consume("--dot-dir=/tmp/dots"));
+  EXPECT_FALSE(Cli.consume("--level=jumps"));
+  EXPECT_FALSE(Cli.consume("--trace-out")); // missing '=': not ours
+  EXPECT_FALSE(Cli.consume("trace-out=/tmp/t.json"));
+}
+
+TEST(ObsCliTest, InactiveWithoutFlagsKeepsNullSink) {
+  ObsCli Cli;
+  EXPECT_FALSE(Cli.active());
+  TraceConfig C = Cli.config();
+  EXPECT_EQ(C.Sink, nullptr);
+  EXPECT_EQ(C.SessionJournal, nullptr);
+  EXPECT_EQ(Cli.sink(), nullptr);
+  EXPECT_EQ(Cli.journal(), nullptr);
+  EXPECT_TRUE(Cli.finish()); // nothing requested: trivially succeeds
+}
+
+TEST(ObsCliTest, JournalOnlyRunSkipsTheSink) {
+  // --journal-out alone must not pay for event recording: the sink stays
+  // null while the journal is wired.
+  ObsCli Cli("journal_only");
+  ASSERT_TRUE(Cli.consume("--journal-out=" + tempPath("j.jsonl")));
+  EXPECT_TRUE(Cli.active());
+  TraceConfig C = Cli.config();
+  EXPECT_EQ(C.Sink, nullptr);
+  ASSERT_NE(C.SessionJournal, nullptr);
+  EXPECT_TRUE(Cli.finish());
+  std::string Jsonl = slurp(tempPath("j.jsonl"));
+  EXPECT_NE(Jsonl.find("\"tool\": \"journal_only\""), std::string::npos);
+  std::remove(tempPath("j.jsonl").c_str());
+}
+
+TEST(ObsCliTest, FinishWritesEveryRequestedArtifact) {
+  std::string Trace = tempPath("t.json"), Metrics = tempPath("m.json"),
+              Profile = tempPath("p.json"), Folded = tempPath("p.folded"),
+              JournalP = tempPath("j2.jsonl");
+  ObsCli Cli("obscli_test");
+  for (const std::string &Arg :
+       {"--trace-out=" + Trace, "--metrics-out=" + Metrics,
+        "--profile-out=" + Profile, "--profile-folded=" + Folded,
+        "--journal-out=" + JournalP})
+    ASSERT_TRUE(Cli.consume(Arg));
+
+  TraceConfig C = Cli.config();
+  ASSERT_NE(C.Sink, nullptr);
+  ASSERT_NE(C.SessionJournal, nullptr);
+  {
+    ScopedTimer T(C.Sink, "span");
+    C.Sink->metrics().add("obscli.test_count", 2);
+    C.Sink->histograms().record("obscli.test_us", 10);
+  }
+  JournalRecord R;
+  R.Fn = "f";
+  R.Cache = "off";
+  R.Verify = "off";
+  C.SessionJournal->append(R);
+  ASSERT_TRUE(Cli.finish());
+
+  for (const std::string &Path : {Trace, Metrics, Profile}) {
+    std::string Json = slurp(Path);
+    EXPECT_TRUE(JsonValidator(Json).validate()) << Path << "\n" << Json;
+  }
+  EXPECT_NE(slurp(Trace).find("\"span\""), std::string::npos);
+  EXPECT_NE(slurp(Metrics).find("\"obscli.test_us\""), std::string::npos);
+  EXPECT_NE(slurp(Profile).find("\"$schema\""), std::string::npos);
+  EXPECT_NE(slurp(Folded).find("span"), std::string::npos);
+  std::string Jsonl = slurp(JournalP);
+  EXPECT_NE(Jsonl.find("\"records\": 1"), std::string::npos);
+  EXPECT_NE(Jsonl.find("\"fn\": \"f\""), std::string::npos);
+  for (const std::string &Path : {Trace, Metrics, Profile, Folded, JournalP})
+    std::remove(Path.c_str());
+}
+
+TEST(ObsCliTest, FinishFailsOnUnwritablePath) {
+  ObsCli Cli;
+  ASSERT_TRUE(Cli.consume("--metrics-out=/nonexistent-dir/metrics.json"));
+  (void)Cli.config();
+  EXPECT_FALSE(Cli.finish());
+}
+
+} // namespace

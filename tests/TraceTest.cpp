@@ -17,6 +17,8 @@
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
+#include "TestJson.h"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -28,6 +30,7 @@ using namespace coderep;
 using namespace coderep::cfg;
 using namespace coderep::obs;
 using namespace coderep::rtl;
+using coderep::tests::JsonValidator;
 
 namespace {
 
@@ -94,165 +97,6 @@ std::vector<std::string> decisionLines(const TraceSink &Sink) {
   return Out;
 }
 
-//===----------------------------------------------------------------------===//
-// A minimal recursive-descent JSON validator, enough to certify that the
-// Chrome-trace export is syntactically well-formed without depending on an
-// external parser.
-//===----------------------------------------------------------------------===//
-
-class JsonValidator {
-public:
-  explicit JsonValidator(const std::string &S) : S(S) {}
-
-  bool validate() {
-    skipWs();
-    if (!value())
-      return false;
-    skipWs();
-    return Pos == S.size();
-  }
-
-private:
-  bool value() {
-    if (Pos >= S.size())
-      return false;
-    switch (S[Pos]) {
-    case '{':
-      return object();
-    case '[':
-      return array();
-    case '"':
-      return string();
-    case 't':
-      return literal("true");
-    case 'f':
-      return literal("false");
-    case 'n':
-      return literal("null");
-    default:
-      return number();
-    }
-  }
-
-  bool object() {
-    ++Pos; // '{'
-    skipWs();
-    if (peek() == '}') {
-      ++Pos;
-      return true;
-    }
-    for (;;) {
-      skipWs();
-      if (!string())
-        return false;
-      skipWs();
-      if (peek() != ':')
-        return false;
-      ++Pos;
-      skipWs();
-      if (!value())
-        return false;
-      skipWs();
-      if (peek() == ',') {
-        ++Pos;
-        continue;
-      }
-      if (peek() == '}') {
-        ++Pos;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++Pos; // '['
-    skipWs();
-    if (peek() == ']') {
-      ++Pos;
-      return true;
-    }
-    for (;;) {
-      skipWs();
-      if (!value())
-        return false;
-      skipWs();
-      if (peek() == ',') {
-        ++Pos;
-        continue;
-      }
-      if (peek() == ']') {
-        ++Pos;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"')
-      return false;
-    ++Pos;
-    while (Pos < S.size() && S[Pos] != '"') {
-      unsigned char C = static_cast<unsigned char>(S[Pos]);
-      if (C < 0x20)
-        return false; // control chars must be escaped
-      if (C == '\\') {
-        ++Pos;
-        if (Pos >= S.size())
-          return false;
-        char E = S[Pos];
-        if (E == 'u') {
-          for (int I = 0; I < 4; ++I) {
-            ++Pos;
-            if (Pos >= S.size() || !std::isxdigit(
-                    static_cast<unsigned char>(S[Pos])))
-              return false;
-          }
-        } else if (!std::strchr("\"\\/bfnrt", E)) {
-          return false;
-        }
-      }
-      ++Pos;
-    }
-    if (Pos >= S.size())
-      return false;
-    ++Pos; // closing quote
-    return true;
-  }
-
-  bool number() {
-    size_t Start = Pos;
-    if (peek() == '-')
-      ++Pos;
-    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
-      ++Pos;
-    if (peek() == '.') {
-      ++Pos;
-      while (Pos < S.size() &&
-             std::isdigit(static_cast<unsigned char>(S[Pos])))
-        ++Pos;
-    }
-    return Pos > Start && S[Pos - 1] != '-';
-  }
-
-  bool literal(const char *L) {
-    size_t Len = std::strlen(L);
-    if (S.compare(Pos, Len, L) != 0)
-      return false;
-    Pos += Len;
-    return true;
-  }
-
-  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
-  void skipWs() {
-    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
-      ++Pos;
-  }
-
-  const std::string &S;
-  size_t Pos = 0;
-};
 
 //===----------------------------------------------------------------------===//
 // Golden decision logs
@@ -442,6 +286,55 @@ TEST(MetricsTest, AddSetSnapshotAndJson) {
   EXPECT_TRUE(JsonValidator(Json).validate()) << Json;
   // Keys export in sorted order, so the output is diffable.
   EXPECT_LT(Json.find("a.first"), Json.find("z.last"));
+}
+
+TEST(MetricsTest, TypedEntriesCarryUnitAndType) {
+  TraceSink Sink;
+  Sink.metrics().add("driver.functions", 3);       // counter, unitless
+  Sink.metrics().add("pipeline.fixpoint_us.x", 9); // counter, microseconds
+  Sink.metrics().set("arena.pool_bytes", 128);     // gauge, bytes
+  Sink.histograms().record("fn.compile_us", 100);
+  Sink.histograms().record("fn.compile_us", 300);
+
+  std::string Json = Sink.metricsJson();
+  EXPECT_TRUE(JsonValidator(Json).validate()) << Json;
+  // Flat entries: value plus machine-readable type and unit.
+  EXPECT_NE(Json.find("\"driver.functions\": {\"value\": 3, "
+                      "\"type\": \"counter\", \"unit\": \"count\"}"),
+            std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"pipeline.fixpoint_us.x\": {\"value\": 9, "
+                      "\"type\": \"counter\", \"unit\": \"us\"}"),
+            std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"arena.pool_bytes\": {\"value\": 128, "
+                      "\"type\": \"gauge\", \"unit\": \"bytes\"}"),
+            std::string::npos)
+      << Json;
+  // Histogram entries interleave into the same sorted map with quantiles.
+  EXPECT_NE(Json.find("\"fn.compile_us\": {\"type\": \"histogram\", "
+                      "\"unit\": \"us\", \"count\": 2"),
+            std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"p99\""), std::string::npos);
+  // Sorted keys: histogram and flat entries share one ordering.
+  EXPECT_LT(Json.find("arena.pool_bytes"), Json.find("driver.functions"));
+  EXPECT_LT(Json.find("driver.functions"), Json.find("fn.compile_us"));
+}
+
+TEST(MetricsTest, EventsDisabledKeepsMetricsAndHistogramsLive) {
+  TraceSink Sink;
+  Sink.setEventsEnabled(false);
+  {
+    ScopedTimer T(&Sink, "muted span");
+    Sink.instant("muted instant");
+    Sink.counter("muted counter", 1);
+  }
+  Sink.metrics().add("still.counted", 1);
+  Sink.histograms().record("still.recorded_us", 5);
+  EXPECT_TRUE(Sink.events().empty());
+  EXPECT_EQ(Sink.metrics().value("still.counted"), 1);
+  EXPECT_EQ(Sink.histograms().get("still.recorded_us").count(), 1);
 }
 
 TEST(MetricsTest, ScopedTimerAccumulatesWithoutSink) {
