@@ -27,6 +27,10 @@ constexpr GateSpec Gates[] = {
     {"jumps_speedup", /*LowerIsBetter=*/false},
     {"verify_final_overhead", /*LowerIsBetter=*/true},
     {"obs_overhead", /*LowerIsBetter=*/true},
+    // Tail blow-up of the compile-server sweep: p99/p50 of request latency.
+    // Absolute latencies are machine-bound; the ratio flags queueing or
+    // lock pathologies that widen the tail relative to the median.
+    {"server_tail_ratio", /*LowerIsBetter=*/true},
 };
 
 const GateSpec *gateFor(const std::string &Name) {

@@ -37,6 +37,14 @@
 // the history records what translation validation costs on top of a
 // compile (verify_off_total_us vs verify_final_total_us).
 //
+// Finally, a compile-server sweep replays the suite twice over the codrepd
+// socket protocol (an in-process daemon on a temp socket by default;
+// --server-socket=PATH to target an externally started codrepd, which is
+// what run_benches.sh does) and records client-observed request latency
+// (server_p50_us/server_p99_us), the shared function-cache hit rate
+// (server_hit_rate), and the machine-normalized tail ratio p99/p50
+// (server_tail_ratio) that bench_report gates.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Suite.h"
@@ -45,6 +53,8 @@
 #include "obs/Journal.h"
 #include "obs/ScopedTimer.h"
 #include "obs/ObsCli.h"
+#include "server/Client.h"
+#include "server/Server.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 #include "verify/Oracle.h"
@@ -52,6 +62,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <unistd.h>
 #include <cstdio>
 #include <ctime>
 #include <limits>
@@ -220,11 +231,14 @@ int main(int argc, char **argv) {
   cache::PipelineCli Pipe;
   std::string OutPath = "BENCH_compile.json";
   std::string HistoryPath = "BENCH_history.jsonl";
+  std::string ServerSocket; // external codrepd; empty = in-process daemon
   bool WriteHistory = true;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--history=", 0) == 0)
       HistoryPath = Arg.substr(10);
+    else if (Arg.rfind("--server-socket=", 0) == 0)
+      ServerSocket = Arg.substr(16);
     else if (Arg == "--no-history")
       WriteHistory = false;
     else if (Obs.consume(Arg) || Pipe.consume(Arg))
@@ -510,6 +524,111 @@ int main(int argc, char **argv) {
                          "exceeds the 2%% budget\n",
                  ObsOverhead);
 
+  // Compile-server sweep: the suite replayed twice through the codrepd
+  // socket protocol with four client connections. The second round hits
+  // the shared function cache warm, so the hit rate is structurally >0.
+  // Against an external daemon (--server-socket=) the cache may span
+  // bench runs; in-process, a fresh in-memory cache is used.
+  int64_t ServerP50Us = -1, ServerP99Us = -1, ServerRequests = 0;
+  double ServerHitRate = 0.0, ServerTailRatio = 0.0;
+  {
+    std::string Socket = ServerSocket;
+    std::unique_ptr<cache::PipelineCache> OwnCache;
+    std::unique_ptr<server::CompileServer> OwnServer;
+    bool ServerUp = !Socket.empty();
+    if (Socket.empty()) {
+      Socket = format("/tmp/coderep-bench-%d.sock",
+                      static_cast<int>(::getpid()));
+      OwnCache = std::make_unique<cache::PipelineCache>();
+      server::ServerOptions SO;
+      SO.SocketPath = Socket;
+      SO.Jobs = static_cast<int>(Jobs);
+      SO.Cache = OwnCache.get();
+      SO.Base.FunctionCache = OwnCache.get();
+      OwnServer = std::make_unique<server::CompileServer>(std::move(SO));
+      std::string Err;
+      ServerUp = OwnServer->start(Err);
+      if (!ServerUp)
+        std::fprintf(stderr, "warning: server sweep skipped: %s\n",
+                     Err.c_str());
+    }
+    if (ServerUp) {
+      const int Rounds = 2, ClientJobs = 4;
+      const int TotalReqs = Rounds * static_cast<int>(Tasks.size());
+      std::atomic<int> Next{0};
+      std::atomic<int64_t> SrvHits{0}, SrvMisses{0}, SrvErrors{0};
+      std::vector<obs::Histogram> Latencies(ClientJobs);
+      std::vector<std::thread> Clients;
+      for (int W = 0; W < ClientJobs; ++W)
+        Clients.emplace_back([&, W] {
+          server::Client Conn;
+          std::string Err;
+          if (!Conn.connect(Socket, Err)) {
+            SrvErrors.fetch_add(1);
+            return;
+          }
+          for (int I = Next.fetch_add(1); I < TotalReqs;
+               I = Next.fetch_add(1)) {
+            const auto &[TK, BP] = Tasks[static_cast<size_t>(I) %
+                                         Tasks.size()];
+            server::CompileRequest Req;
+            Req.Name = BP->Name;
+            Req.Source = BP->Source;
+            Req.Target = TK;
+            server::CompileResponse Resp;
+            auto Start = std::chrono::steady_clock::now();
+            if (!Conn.roundtrip(Req, Resp, Err) || !Resp.Ok) {
+              SrvErrors.fetch_add(1);
+              if (!Conn.connected())
+                return;
+              continue;
+            }
+            Latencies[static_cast<size_t>(W)].record(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+            SrvHits.fetch_add(Resp.FnCacheHits);
+            SrvMisses.fetch_add(Resp.FnCacheMisses);
+          }
+        });
+      for (std::thread &T : Clients)
+        T.join();
+      if (OwnServer) {
+        OwnServer->requestStop();
+        OwnServer->wait();
+      }
+      obs::Histogram Latency;
+      for (const obs::Histogram &H : Latencies)
+        Latency.merge(H);
+      ServerRequests = Latency.count();
+      if (ServerRequests > 0 && SrvErrors.load() == 0) {
+        ServerP50Us = Latency.quantile(0.5);
+        ServerP99Us = Latency.quantile(0.99);
+        ServerTailRatio =
+            ServerP50Us > 0 ? static_cast<double>(ServerP99Us) / ServerP50Us
+                            : 0.0;
+        int64_t SrvTotal = SrvHits.load() + SrvMisses.load();
+        ServerHitRate = SrvTotal > 0 ? static_cast<double>(SrvHits.load()) /
+                                           static_cast<double>(SrvTotal)
+                                     : 0.0;
+        std::printf("\ncompile server (%s): %lld requests, p50 %lld us, "
+                    "p99 %lld us (tail %.2fx), fn-cache hit rate %.1f%%\n",
+                    ServerSocket.empty() ? "in-process" : "external",
+                    static_cast<long long>(ServerRequests),
+                    static_cast<long long>(ServerP50Us),
+                    static_cast<long long>(ServerP99Us), ServerTailRatio,
+                    100.0 * ServerHitRate);
+      } else {
+        std::fprintf(stderr,
+                     "warning: server sweep incomplete (%lld errors, %lld "
+                     "responses); omitting server metrics\n",
+                     static_cast<long long>(SrvErrors.load()),
+                     static_cast<long long>(ServerRequests));
+        ServerP50Us = ServerP99Us = -1;
+      }
+    }
+  }
+
   std::FILE *F = std::fopen(OutPath.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot open %s for writing\n", OutPath.c_str());
@@ -580,6 +699,16 @@ int main(int argc, char **argv) {
                static_cast<long long>(FnP90));
   std::fprintf(F, "  \"fn_compile_p99_us\": %lld,\n",
                static_cast<long long>(FnP99));
+  if (ServerP50Us >= 0) {
+    std::fprintf(F, "  \"server_requests\": %lld,\n",
+                 static_cast<long long>(ServerRequests));
+    std::fprintf(F, "  \"server_p50_us\": %lld,\n",
+                 static_cast<long long>(ServerP50Us));
+    std::fprintf(F, "  \"server_p99_us\": %lld,\n",
+                 static_cast<long long>(ServerP99Us));
+    std::fprintf(F, "  \"server_tail_ratio\": %.3f,\n", ServerTailRatio);
+    std::fprintf(F, "  \"server_hit_rate\": %.3f,\n", ServerHitRate);
+  }
   {
     std::string Fx;
     for (int P = 0; P < opt::NumPhases; ++P) {
@@ -607,6 +736,21 @@ int main(int argc, char **argv) {
 
   // One history line per run: the regression trail run_benches.sh diffs.
   if (WriteHistory) {
+    // Server metrics only exist when the sweep completed; bench_report
+    // skips absent metrics, so omission is safe.
+    std::string ServerJson;
+    if (ServerP50Us >= 0) {
+      char SJ[256];
+      std::snprintf(SJ, sizeof(SJ),
+                    ", \"server_requests\": %lld, \"server_p50_us\": %lld, "
+                    "\"server_p99_us\": %lld, \"server_tail_ratio\": %.3f, "
+                    "\"server_hit_rate\": %.3f",
+                    static_cast<long long>(ServerRequests),
+                    static_cast<long long>(ServerP50Us),
+                    static_cast<long long>(ServerP99Us), ServerTailRatio,
+                    ServerHitRate);
+      ServerJson = SJ;
+    }
     if (std::FILE *H = std::fopen(HistoryPath.c_str(), "a")) {
       std::fprintf(
           H,
@@ -628,7 +772,7 @@ int main(int argc, char **argv) {
           "\"fn_compile_p50_us\": %lld, \"fn_compile_p90_us\": %lld, "
           "\"fn_compile_p99_us\": %lld, "
           "\"arena_insns\": %lld, \"arena_pool_bytes\": %lld, "
-          "\"arena_peak_refs\": %lld}\n",
+          "\"arena_peak_refs\": %lld%s}\n",
           isoUtcNow().c_str(), gitSha().c_str(), Jobs, Reps,
           static_cast<long long>(EndToEndUs),
           static_cast<long long>(BaselineTotals.TotalUs),
@@ -646,7 +790,8 @@ int main(int argc, char **argv) {
           static_cast<long long>(FnP90), static_cast<long long>(FnP99),
           static_cast<long long>(OptimizedTotals.ArenaInsns),
           static_cast<long long>(OptimizedTotals.ArenaPoolBytes),
-          static_cast<long long>(OptimizedTotals.ArenaPeakRefs));
+          static_cast<long long>(OptimizedTotals.ArenaPeakRefs),
+          ServerJson.c_str());
       std::fclose(H);
       std::printf("appended run record to %s\n", HistoryPath.c_str());
     } else {

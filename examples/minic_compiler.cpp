@@ -16,11 +16,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "Suite.h"
-#include "cache/PipelineCli.h"
 #include "cfg/FunctionPrinter.h"
-#include "obs/ObsCli.h"
+#include "support/CliFlags.h"
 #include "support/Format.h"
-#include "verify/VerifyCli.h"
 
 #include <cstdio>
 #include <cstring>
@@ -44,9 +42,7 @@ int main(int Argc, char **Argv) {
   target::TargetKind TK = target::TargetKind::Sparc;
   opt::OptLevel Level = opt::OptLevel::Jumps;
   bool Dump = false, Cache = false;
-  obs::ObsCli Obs("minic_compiler");
-  cache::PipelineCli Pipe;
-  verify::VerifyCli Verify;
+  support::CliFlags Flags("minic_compiler");
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -66,7 +62,7 @@ int main(int Argc, char **Argv) {
       Cache = true;
     else if (Arg.rfind("--input=", 0) == 0)
       InputPath = Arg.substr(8);
-    else if (Obs.consume(Arg) || Pipe.consume(Arg) || Verify.consume(Arg))
+    else if (Flags.consume(Arg))
       ; // handled
     else if (Arg[0] != '-')
       Path = Arg;
@@ -79,9 +75,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: minic_compiler FILE.mc [--target=m68|sparc] "
                  "[--level=simple|loops|jumps] [--dump] [--input=FILE] "
-                 "[--cache] %s %s %s\n",
-                 cache::PipelineCli::usage(), obs::ObsCli::usage(),
-                 verify::VerifyCli::usage());
+                 "[--cache] %s\n",
+                 support::CliFlags::usage().c_str());
     return 2;
   }
 
@@ -97,9 +92,7 @@ int main(int Argc, char **Argv) {
   }
 
   opt::PipelineOptions Opts;
-  Opts.Trace = Obs.config();
-  Pipe.apply(Opts);
-  Verify.apply(Opts, Opts.Trace.Sink);
+  Flags.apply(Opts);
   driver::Compilation C = driver::compile(Source, TK, Level, &Opts);
   if (!C.ok()) {
     std::fprintf(stderr, "%s: %s\n", Path.c_str(), C.Error.c_str());
@@ -107,8 +100,7 @@ int main(int Argc, char **Argv) {
   }
   if (Dump) {
     std::printf("%s", cfg::toString(*C.Prog).c_str());
-    bool VerifyOk = Verify.finish(Opts.Trace.Sink);
-    return Obs.finish() && VerifyOk ? 0 : 1;
+    return Flags.finish() ? 0 : 1;
   }
 
   std::vector<cache::CacheConfig> Configs;
@@ -150,8 +142,7 @@ int main(int Argc, char **Argv) {
                  100.0 * Bank.caches()[I].stats().missRatio(),
                  static_cast<unsigned long long>(
                      Bank.caches()[I].stats().FetchCost));
-  bool VerifyOk = Verify.finish(Opts.Trace.Sink);
-  if (!Obs.finish() || !VerifyOk)
+  if (!Flags.finish())
     return 1;
   return R.ok() ? 0 : 1;
 }

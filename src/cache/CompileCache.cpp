@@ -4,12 +4,16 @@
 
 #include "cfg/FunctionPrinter.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
+
+#include <unistd.h>
 
 using namespace coderep;
 using namespace coderep::cache;
@@ -312,9 +316,13 @@ std::unique_ptr<PipelineCache::Entry> deserializeEntry(std::istream &In) {
 
 } // namespace
 
+// Entries shard by the leading hex nibble of the key hash: 16 directories
+// that spread a shared multi-process store's directory traffic and keep
+// any one directory listing short for the budget scan.
 std::string PipelineCache::pathFor(uint64_t Hash) const {
-  char Name[32];
-  std::snprintf(Name, sizeof(Name), "%016" PRIx64 ".fn", Hash);
+  char Name[40];
+  std::snprintf(Name, sizeof(Name), "%x/%016" PRIx64 ".fn",
+                static_cast<unsigned>(Hash >> 60), Hash);
   return DiskDir + "/" + Name;
 }
 
@@ -322,9 +330,11 @@ std::string PipelineCache::pathFor(uint64_t Hash) const {
 // LRU + lookup/store
 //===----------------------------------------------------------------------===//
 
-PipelineCache::PipelineCache(std::string DiskDirIn, size_t MaxEntriesIn)
+PipelineCache::PipelineCache(std::string DiskDirIn, size_t MaxEntriesIn,
+                             int64_t DiskBudgetBytes)
     : DiskDir(std::move(DiskDirIn)),
-      MaxEntries(MaxEntriesIn == 0 ? 1 : MaxEntriesIn) {}
+      MaxEntries(MaxEntriesIn == 0 ? 1 : MaxEntriesIn),
+      DiskBudget(DiskBudgetBytes < 0 ? 0 : DiskBudgetBytes) {}
 
 PipelineCache::~PipelineCache() = default;
 
@@ -361,10 +371,17 @@ bool PipelineCache::lookup(const std::string &Key, cfg::Function &F,
   }
 
   if (!DiskDir.empty()) {
-    std::ifstream In(pathFor(Hash), std::ios::binary);
+    const std::string Path = pathFor(Hash);
+    std::ifstream In(Path, std::ios::binary);
     if (In) {
       std::unique_ptr<Entry> E = deserializeEntry(In);
       if (E && E->Key == Key) {
+        In.close();
+        // Touch the file so budget eviction (oldest-mtime-first) treats it
+        // as recently used; failure (e.g. a racing eviction) is harmless.
+        std::error_code Ec;
+        std::filesystem::last_write_time(
+            Path, std::filesystem::file_time_type::clock::now(), Ec);
         std::lock_guard<std::mutex> Lock(Mu);
         ++DiskHits;
         bool Ok = applyEntry(*E, F, Stats);
@@ -381,16 +398,20 @@ bool PipelineCache::lookup(const std::string &Key, cfg::Function &F,
 
 bool PipelineCache::writeDiskFile(uint64_t Hash,
                                   const std::string &Bytes) const {
+  const std::string Final = pathFor(Hash);
   std::error_code Ec;
-  std::filesystem::create_directories(DiskDir, Ec);
+  std::filesystem::create_directories(
+      std::filesystem::path(Final).parent_path(), Ec);
   if (Ec)
     return false;
   // Atomic publish: write a private temp file, then rename into place, so
-  // concurrent readers (and writers racing on the same key, who by
-  // construction produce identical bytes) never observe a torn file.
-  const std::string Final = pathFor(Hash);
+  // concurrent readers - in this process or any other sharing the store -
+  // never observe a torn file (writers racing on the same key produce
+  // identical bytes by construction). The temp name folds in the pid so
+  // two processes cannot collide on it either.
   std::ostringstream UniqueName;
-  UniqueName << Final << ".tmp." << reinterpret_cast<uintptr_t>(&Bytes) << "."
+  UniqueName << Final << ".tmp." << ::getpid() << "."
+             << reinterpret_cast<uintptr_t>(&Bytes) << "."
              << std::this_thread::get_id();
   const std::string Tmp = UniqueName.str();
   bool Renamed = false;
@@ -421,9 +442,13 @@ void PipelineCache::store(const std::string &Key, const cfg::Function &F,
   if (!DiskDir.empty()) {
     std::ostringstream Bytes;
     serializeEntry(Bytes, *E);
-    if (writeDiskFile(Hash, Bytes.str())) {
-      std::lock_guard<std::mutex> Lock(Mu);
-      ++DiskWrites;
+    const std::string Payload = Bytes.str();
+    if (writeDiskFile(Hash, Payload)) {
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++DiskWrites;
+      }
+      accountDiskWrite(static_cast<int64_t>(Payload.size()));
     }
   }
 
@@ -450,8 +475,89 @@ void PipelineCache::noteVerified(const std::string &Key) {
     }
   }
   if (!Bytes.empty() && writeDiskFile(Hash, Bytes)) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    ++DiskWrites;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++DiskWrites;
+    }
+    // Rewriting replaces the old file's bytes, but counting the full size
+    // again only errs toward earlier eviction; the next scan corrects it.
+    accountDiskWrite(static_cast<int64_t>(Bytes.size()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Disk budget
+//===----------------------------------------------------------------------===//
+
+void PipelineCache::accountDiskWrite(int64_t Bytes) {
+  if (DiskBudget <= 0 || DiskDir.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(DiskMu);
+  if (DiskBytesKnown >= 0)
+    DiskBytesKnown += Bytes;
+  // Unknown (-1) stays unknown until the first enforcement scan; a shared
+  // store may already hold other processes' entries, so incremental
+  // accounting alone cannot answer "how big is the store".
+  if (DiskBytesKnown < 0 || DiskBytesKnown > DiskBudget)
+    enforceBudgetLocked();
+}
+
+// Rescans the sharded store and removes oldest-mtime entry files until the
+// total fits the budget. Runs under DiskMu only (never Mu), so in-memory
+// lookups proceed while a scan walks directories. Racing processes may
+// remove the same files; a missing file simply contributes nothing.
+void PipelineCache::enforceBudgetLocked() {
+  namespace fs = std::filesystem;
+  struct File {
+    std::string Path;
+    fs::file_time_type Mtime;
+    int64_t Size;
+  };
+  std::vector<File> Files;
+  int64_t Total = 0;
+  std::error_code Ec;
+  for (unsigned Shard = 0; Shard < 16; ++Shard) {
+    char Sub[4];
+    std::snprintf(Sub, sizeof(Sub), "%x", Shard);
+    fs::directory_iterator It(DiskDir + "/" + Sub, Ec), End;
+    if (Ec) {
+      Ec.clear(); // shard not created yet
+      continue;
+    }
+    for (; It != End; It.increment(Ec)) {
+      if (Ec)
+        break;
+      const fs::directory_entry &DE = *It;
+      if (DE.path().extension() != ".fn")
+        continue; // leave temp files to their writers
+      std::error_code StatEc;
+      const int64_t Size = static_cast<int64_t>(DE.file_size(StatEc));
+      if (StatEc)
+        continue; // raced with a removal
+      const fs::file_time_type Mtime = DE.last_write_time(StatEc);
+      if (StatEc)
+        continue;
+      Files.push_back({DE.path().string(), Mtime, Size});
+      Total += Size;
+    }
+    Ec.clear();
+  }
+
+  DiskBytesKnown = Total;
+  if (Total <= DiskBudget)
+    return;
+
+  std::sort(Files.begin(), Files.end(),
+            [](const File &A, const File &B) { return A.Mtime < B.Mtime; });
+  for (const File &F : Files) {
+    if (DiskBytesKnown <= DiskBudget)
+      break;
+    std::error_code RmEc;
+    fs::remove(F.Path, RmEc);
+    // Already-gone counts too: another process evicted it, but either way
+    // those bytes no longer exist.
+    DiskBytesKnown -= F.Size;
+    ++DiskEvictions;
   }
 }
 
@@ -483,6 +589,14 @@ int64_t PipelineCache::diskWrites() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return DiskWrites;
 }
+int64_t PipelineCache::diskEvictions() const {
+  std::lock_guard<std::mutex> Lock(DiskMu);
+  return DiskEvictions;
+}
+int64_t PipelineCache::diskBytes() const {
+  std::lock_guard<std::mutex> Lock(DiskMu);
+  return DiskBytesKnown;
+}
 size_t PipelineCache::entries() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Lru.size();
@@ -496,13 +610,19 @@ size_t PipelineCache::verifiedEntries() const {
 }
 
 void PipelineCache::publishMetrics(obs::MetricsRegistry &M) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  M.set("pipeline_cache.entries", static_cast<int64_t>(Lru.size()));
-  M.set("pipeline_cache.evictions", Evictions);
-  M.set("pipeline_cache.disk_hits", DiskHits);
-  M.set("pipeline_cache.disk_writes", DiskWrites);
-  int64_t Verified = 0;
-  for (const auto &E : Lru)
-    Verified += E->Verified ? 1 : 0;
-  M.set("pipeline_cache.verified_entries", Verified);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    M.set("pipeline_cache.entries", static_cast<int64_t>(Lru.size()));
+    M.set("pipeline_cache.evictions", Evictions);
+    M.set("pipeline_cache.disk_hits", DiskHits);
+    M.set("pipeline_cache.disk_writes", DiskWrites);
+    int64_t Verified = 0;
+    for (const auto &E : Lru)
+      Verified += E->Verified ? 1 : 0;
+    M.set("pipeline_cache.verified_entries", Verified);
+  }
+  std::lock_guard<std::mutex> Lock(DiskMu);
+  M.set("pipeline_cache.disk_evictions", DiskEvictions);
+  if (DiskBytesKnown >= 0)
+    M.set("pipeline_cache.disk_bytes", DiskBytesKnown);
 }

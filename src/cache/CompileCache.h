@@ -25,9 +25,20 @@
 /// micros, passes run/skipped, shortest-path cache traffic): no work was
 /// done, and pretending otherwise would corrupt throughput benchmarks.
 ///
-/// Disk format: one "<fnv64>.fn" file per entry under the configured
-/// directory, written atomically (temp file + rename); see
-/// CompileCache.cpp for the line-oriented codec.
+/// Disk format: one "<fnv64>.fn" file per entry, sharded across 16
+/// subdirectories of the configured directory by the key hash's leading
+/// hex nibble ("<DiskDir>/<nibble>/<fnv64>.fn") so a shared store under
+/// heavy multi-process traffic spreads directory contention. Writes are
+/// atomic (private temp file - unique per process AND thread - then
+/// rename), so concurrent processes hammering the same store never
+/// observe a torn entry; corrupt or partial files degrade to a miss.
+///
+/// Eviction: with a nonzero disk budget, the store is bounded globally -
+/// whenever the total on-disk size exceeds the budget, entry files are
+/// removed oldest-mtime-first (disk hits touch mtime, making this LRU,
+/// not FIFO) until the store fits again. Each process enforces the budget
+/// independently; racing removals are benign (a file already gone counts
+/// as evicted).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,10 +60,14 @@ namespace coderep::cache {
 /// Content-addressed LRU memo of optimized function bodies.
 class PipelineCache final : public opt::FunctionOptimizationCache {
 public:
-  /// \p DiskDir: when non-empty, entries persist as files under the
-  /// directory (created on first write) and misses consult it before
+  /// \p DiskDir: when non-empty, entries persist as sharded files under
+  /// the directory (created on first write) and misses consult it before
   /// recompiling. \p MaxEntries bounds the in-memory LRU.
-  explicit PipelineCache(std::string DiskDir = {}, size_t MaxEntries = 1024);
+  /// \p DiskBudgetBytes, when nonzero, bounds the total on-disk size:
+  /// stores that push the store past the budget evict the oldest-mtime
+  /// entry files until it fits.
+  explicit PipelineCache(std::string DiskDir = {}, size_t MaxEntries = 1024,
+                         int64_t DiskBudgetBytes = 0);
   ~PipelineCache() override;
 
   std::string keyFor(const cfg::Function &F, const target::Target &T,
@@ -74,6 +89,8 @@ public:
   int64_t evictions() const;  ///< LRU entries dropped over MaxEntries
   int64_t diskHits() const;   ///< misses satisfied from the disk store
   int64_t diskWrites() const; ///< entry files written
+  int64_t diskEvictions() const; ///< entry files removed by the budget
+  int64_t diskBytes() const;  ///< last known total on-disk size (-1 unknown)
   size_t entries() const;     ///< current in-memory entry count
   size_t verifiedEntries() const; ///< entries marked via noteVerified
 
@@ -92,9 +109,19 @@ private:
   void insertLocked(uint64_t Hash, std::unique_ptr<Entry> E);
   std::string pathFor(uint64_t Hash) const;
   bool writeDiskFile(uint64_t Hash, const std::string &Bytes) const;
+  void accountDiskWrite(int64_t Bytes);
+  void enforceBudgetLocked();
 
   std::string DiskDir;
   size_t MaxEntries;
+  int64_t DiskBudget; ///< bytes; 0 = unbounded
+
+  /// Budget state, under its own lock so a shard scan never blocks
+  /// lookups. DiskBytesKnown = -1 until the first accounting pass scans
+  /// the store (other processes may have populated it).
+  mutable std::mutex DiskMu;
+  int64_t DiskBytesKnown = -1;
+  int64_t DiskEvictions = 0;
 
   mutable std::mutex Mu;
   // LRU: most recent at the front; the map indexes list nodes by key hash.

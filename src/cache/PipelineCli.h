@@ -17,6 +17,9 @@
 ///   --pipeline-cache=DIR  persist optimized function bodies under DIR and
 ///                         serve identical compiles from it; "" (empty DIR)
 ///                         selects a process-local in-memory cache
+///   --cache-budget=BYTES  bound the on-disk store: past the budget, entry
+///                         files are evicted oldest-mtime-first (K/M/G
+///                         suffixes accepted; 0 = unbounded, the default)
 ///   --no-analysis-cache   recompute every CFG/dataflow analysis at every
 ///                         query instead of serving it from the per-function
 ///                         AnalysisManager (the always-recompute oracle)
@@ -70,6 +73,10 @@ public:
       WantCache = true;
       return true;
     }
+    if (Arg.rfind("--cache-budget=", 0) == 0) {
+      Budget = parseBytes(Arg.c_str() + 15);
+      return true;
+    }
     if (Arg == "--no-analysis-cache") {
       CacheAnalyses = false;
       return true;
@@ -88,7 +95,8 @@ public:
     Options.CacheAnalyses = CacheAnalyses;
     Options.FusedLocalSweep = FusedSweep;
     if (WantCache && !Cache)
-      Cache = std::make_unique<PipelineCache>(CacheDir);
+      Cache = std::make_unique<PipelineCache>(CacheDir, /*MaxEntries=*/1024,
+                                              Budget);
     Options.FunctionCache = Cache.get();
   }
 
@@ -101,15 +109,31 @@ public:
 
   /// One usage line describing the flags, for --help texts.
   static const char *usage() {
-    return "[--jobs=N] [--pipeline-cache[=DIR]] [--no-analysis-cache] "
-           "[--no-fused-sweep]";
+    return "[--jobs=N] [--pipeline-cache[=DIR]] [--cache-budget=BYTES] "
+           "[--no-analysis-cache] [--no-fused-sweep]";
   }
 
 private:
+  /// "4096", "64K", "8M", "1G" (case-insensitive suffix) -> bytes.
+  static int64_t parseBytes(const char *S) {
+    char *End = nullptr;
+    long long V = std::strtoll(S, &End, 10);
+    if (End == S || V < 0)
+      return 0;
+    switch (*End) {
+    case 'k': case 'K': V <<= 10; break;
+    case 'm': case 'M': V <<= 20; break;
+    case 'g': case 'G': V <<= 30; break;
+    default: break;
+    }
+    return static_cast<int64_t>(V);
+  }
+
   int Jobs = 0; ///< 0 = hardware concurrency
   bool CacheAnalyses = true;
   bool FusedSweep = true;
   bool WantCache = false;
+  int64_t Budget = 0; ///< on-disk size bound; 0 = unbounded
   std::string CacheDir;
   std::unique_ptr<PipelineCache> Cache;
 };

@@ -1,0 +1,37 @@
+//===- Client.cpp - Compile-server client library -------------------------===//
+
+#include "server/Client.h"
+
+using namespace coderep::server;
+
+bool Client::connect(const std::string &SocketPath, std::string &Err) {
+  Sock = connectUnix(SocketPath, Err);
+  return Sock.valid();
+}
+
+bool Client::roundtrip(const CompileRequest &Req, CompileResponse &Resp,
+                       std::string &Err) {
+  if (!Sock.valid()) {
+    Err = "not connected";
+    return false;
+  }
+  if (!sendFrame(Sock.get(), encodeRequest(Req))) {
+    Err = "send failed (daemon gone?)";
+    Sock.reset();
+    return false;
+  }
+  std::string Payload;
+  if (!recvFrame(Sock.get(), Payload)) {
+    Err = Payload.empty() ? "connection closed before response"
+                          : "torn response frame";
+    Sock.reset();
+    return false;
+  }
+  std::string DecodeErr;
+  if (!decodeResponse(Payload, Resp, DecodeErr)) {
+    Err = "bad response: " + DecodeErr;
+    Sock.reset();
+    return false;
+  }
+  return true;
+}

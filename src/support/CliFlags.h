@@ -1,0 +1,91 @@
+//===- CliFlags.h - Aggregated shared CLI flag packs ------------*- C++ -*-===//
+//
+// Part of the coderep project: a reproduction of Mueller & Whalley,
+// "Avoiding Unconditional Jumps by Code Replication", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop flag pack: every binary that compiles MiniC grew the same
+/// three independent packs (obs::ObsCli, cache::PipelineCli,
+/// verify::VerifyCli) and the same boilerplate wiring them together. This
+/// header bundles them behind a single consume/apply/finish so a new tool
+/// (codrepd, loadgen) gets observability, pipeline-speed and verification
+/// flags in three lines:
+///
+///   support::CliFlags Flags("mytool");
+///   ... if (Flags.consume(Arg)) continue; ...
+///   Flags.apply(Options);          // before compiling
+///   ... compile ...
+///   return Flags.finish() ? 0 : 1; // writes outputs, prints verify report
+///
+/// apply() performs exactly the wiring minic_compiler always did, in the
+/// same order: Options.Trace = obs config, pipeline flags (jobs/cache),
+/// then the verifier (which reads the trace sink). The individual packs
+/// stay reachable through obs()/pipeline()/verify() for tools that need
+/// the sink, the journal or the cache counters directly.
+///
+/// Note the layering wrinkle: support/ sits below obs/cache/verify in the
+/// library graph, but this header is header-only glue over headers that
+/// are themselves header-only or link through the including binary, so no
+/// library edge is added - binaries that include it already link all three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CODEREP_SUPPORT_CLIFLAGS_H
+#define CODEREP_SUPPORT_CLIFLAGS_H
+
+#include "cache/PipelineCli.h"
+#include "obs/ObsCli.h"
+#include "verify/VerifyCli.h"
+
+#include <string>
+
+namespace coderep::support {
+
+/// Owns one of each shared flag pack and wires them in the canonical order.
+class CliFlags {
+public:
+  /// \p Tool names the journal session (see obs::ObsCli).
+  explicit CliFlags(std::string Tool = "coderep") : Obs(std::move(Tool)) {}
+
+  /// Returns true when \p Arg belonged to any of the three packs.
+  bool consume(const std::string &Arg) {
+    return Obs.consume(Arg) || Pipe.consume(Arg) || Verify.consume(Arg);
+  }
+
+  /// Installs everything into \p Options: trace config first, then
+  /// jobs/cache, then the verifier (which observes through the sink).
+  void apply(opt::PipelineOptions &Options) {
+    Options.Trace = Obs.config();
+    Pipe.apply(Options);
+    Verify.apply(Options, Options.Trace.Sink);
+  }
+
+  /// Prints the verification report and writes the requested obs outputs.
+  /// Returns false when verification failed or an output could not be
+  /// written - callers should exit nonzero.
+  bool finish() {
+    bool VerifyOk = Verify.finish(Obs.sink());
+    return Obs.finish() && VerifyOk;
+  }
+
+  obs::ObsCli &obs() { return Obs; }
+  cache::PipelineCli &pipeline() { return Pipe; }
+  verify::VerifyCli &verify() { return Verify; }
+
+  /// Usage lines for all three packs, for --help texts.
+  static std::string usage() {
+    return std::string(cache::PipelineCli::usage()) + " " +
+           obs::ObsCli::usage() + "\n  " + verify::VerifyCli::usage();
+  }
+
+private:
+  obs::ObsCli Obs;
+  cache::PipelineCli Pipe;
+  verify::VerifyCli Verify;
+};
+
+} // namespace coderep::support
+
+#endif // CODEREP_SUPPORT_CLIFLAGS_H

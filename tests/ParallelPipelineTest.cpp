@@ -318,7 +318,11 @@ TEST(ParallelPipeline, CorruptDiskEntryDegradesToMiss) {
     ColdText = compileToText(BP.Source, target::TargetKind::Sparc,
                              opt::OptLevel::Jumps, Opts);
   }
-  for (const auto &File : std::filesystem::directory_iterator(Dir)) {
+  // Entries live inside the per-nibble shard subdirectories.
+  for (const auto &File :
+       std::filesystem::recursive_directory_iterator(Dir)) {
+    if (!File.is_regular_file())
+      continue;
     std::ofstream Out(File.path(), std::ios::trunc);
     Out << "coderep-pipeline-cache 1\nkey 3\nxyz garbage";
   }
